@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/minimize
+	$(GO) run ./examples/equivalence
+	$(GO) run ./examples/magic
+	$(GO) run ./examples/stratified
+	$(GO) run ./examples/pointsto
+	$(GO) run ./examples/authz
+	$(GO) run ./examples/incremental
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/eval"
+	"repro/internal/minimize"
+	"repro/internal/workload"
+)
+
+// compareReport prints the full comparison story for two programs: uniform
+// containment both ways (with the failing rule as witness), a sampled
+// plain-equivalence check over random EDBs (equivalence itself being
+// undecidable), and each program's distance from its Fig. 2 minimal form.
+func compareReport(out io.Writer, p1, p2 *ast.Program) error {
+	contains := chase.UniformlyContains
+	if p1.HasNegation() || p2.HasNegation() {
+		contains = chase.StratifiedUniformlyContains
+		fmt.Fprintln(out, "note: stratified negation present; using the conservative encoding")
+	}
+
+	ok12, w12, err := contains(p1, p2)
+	if err != nil {
+		return err
+	}
+	ok21, w21, err := contains(p2, p1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "P2 ⊑ᵘ P1: %v", ok12)
+	if !ok12 {
+		fmt.Fprintf(out, "   (witness: %s)", p2.Rules[w12])
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "P1 ⊑ᵘ P2: %v", ok21)
+	if !ok21 {
+		fmt.Fprintf(out, "   (witness: %s)", p1.Rules[w21])
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "P1 ≡ᵘ P2: %v\n", ok12 && ok21)
+
+	// Equivalence over EDBs is undecidable; sample it. Agreement on every
+	// sample is evidence, not proof — disagreement is a counterexample.
+	if !p1.HasNegation() && !p2.HasNegation() {
+		verdict, cex := sampleEquivalence(p1, p2, 40)
+		if cex != "" {
+			fmt.Fprintf(out, "P1 ≡ P2 (sampled): NO — counterexample EDB:\n%s", cex)
+		} else {
+			fmt.Fprintf(out, "P1 ≡ P2 (sampled over %d random EDBs): no disagreement found\n", verdict)
+		}
+	}
+
+	for name, p := range map[string]*ast.Program{"P1": p1, "P2": p2} {
+		if p.HasNegation() {
+			continue
+		}
+		min, trace, err := minimize.Program(p, minimize.Options{})
+		if err != nil {
+			return err
+		}
+		if trace.AtomsRemoved()+trace.RulesRemoved() == 0 {
+			fmt.Fprintf(out, "%s is minimal under uniform equivalence\n", name)
+		} else {
+			fmt.Fprintf(out, "%s is NOT minimal: Fig. 2 removes %d atom(s), %d rule(s)\n",
+				name, trace.AtomsRemoved(), trace.RulesRemoved())
+			_ = min
+		}
+	}
+	return nil
+}
+
+// sampleEquivalence compares outputs on random EDBs over the union of both
+// programs' extensional predicates; returns the number of samples and a
+// rendered counterexample EDB when one is found.
+func sampleEquivalence(p1, p2 *ast.Program, trials int) (int, string) {
+	idb := map[string]bool{}
+	for pred := range p1.IDBPredicates() {
+		idb[pred] = true
+	}
+	for pred := range p2.IDBPredicates() {
+		idb[pred] = true
+	}
+	sigs := map[string]int{}
+	for _, p := range []*ast.Program{p1, p2} {
+		for _, sig := range p.Predicates() {
+			if !idb[sig.Name] {
+				sigs[sig.Name] = sig.Arity
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < trials; trial++ {
+		d := workload.RandomDB(rng, p1, 4, 3)
+		for pred, arity := range sigs {
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				args := make([]ast.Const, arity)
+				for i := range args {
+					args[i] = ast.Int(int64(rng.Intn(4)))
+				}
+				d.AddTuple(pred, args)
+			}
+		}
+		o1, _, err1 := eval.Eval(p1, d, eval.Options{})
+		o2, _, err2 := eval.Eval(p2, d, eval.Options{})
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if !o1.Equal(o2) {
+			return trial, d.String()
+		}
+	}
+	return trials, ""
+}

@@ -1,0 +1,388 @@
+// Command datalog is the command-line front end of the library: it parses,
+// evaluates, minimizes, compares, and magic-rewrites Datalog programs in
+// the concrete syntax of internal/parser.
+//
+// Usage:
+//
+//	datalog parse     <file>           parse and pretty-print
+//	datalog fmt       <file>           canonical formatting (idempotent)
+//	datalog eval      <file>           evaluate facts in the file, print DB
+//	datalog query     <file> <atom>    evaluate and print matching tuples
+//	datalog minimize  <file>           Fig. 2 minimization (uniform equiv.)
+//	datalog equivopt  <file>           Section XI optimization (plain equiv.)
+//	datalog contains  <file1> <file2>  uniform containment both ways
+//	datalog compare   <file1> <file2>  full containment/equivalence report
+//	datalog preserve  <file>           Fig. 3 + (3′) for the file's tgds
+//	datalog check     <file>           evaluate, then verify the file's tgds
+//	datalog magic     <file> <atom>    print the magic-sets rewriting
+//	datalog explain   <file> <fact>    print a derivation tree for a fact
+//	datalog graph     <file>           dependence graph in Graphviz DOT
+//	datalog repl                       interactive session
+//	datalog tquery    <file> <atom>    answer via the tabled top-down engine
+//	datalog optimize  <file> <atom>    full pipeline: prune+minimize+equivopt+magic
+//
+// A file argument of "-" reads standard input. Flags:
+//
+//	-naive   use the naive fixpoint strategy for eval/query
+//	-stats   print evaluation statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/dot"
+	"repro/internal/eval"
+	"repro/internal/explain"
+	"repro/internal/magic"
+	"repro/internal/parser"
+	"repro/internal/topdown"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datalog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("datalog", flag.ContinueOnError)
+	naive := fs.Bool("naive", false, "use the naive fixpoint strategy")
+	stats := fs.Bool("stats", false, "print evaluation statistics")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: datalog <parse|eval|query|tquery|optimize|minimize|equivopt|contains|compare|check|preserve|magic|explain|graph|fmt|repl> ...")
+	}
+	cmd, rest := rest[0], rest[1:]
+
+	opts := eval.Options{}
+	if *naive {
+		opts.Strategy = eval.Naive
+	}
+
+	switch cmd {
+	case "fmt":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.Program.Format(res.Symbols))
+		for _, f := range res.Facts {
+			fmt.Fprintf(out, "%s.\n", f.Format(res.Symbols))
+		}
+		for _, t := range res.TGDs {
+			fmt.Fprintf(out, "%s\n", t.Format(res.Symbols))
+		}
+		return nil
+
+	case "parse":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.Program.Format(res.Symbols))
+		for _, f := range res.Facts {
+			fmt.Fprintf(out, "%s.\n", f.Format(res.Symbols))
+		}
+		for _, t := range res.TGDs {
+			fmt.Fprintf(out, "%s\n", t.Format(res.Symbols))
+		}
+		return nil
+
+	case "eval":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		outDB, st, err := eval.Eval(res.Program, db.FromFacts(res.Facts), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, outDB.Format(res.Symbols))
+		if *stats {
+			fmt.Fprintf(out, "%% rounds=%d firings=%d added=%d\n", st.Rounds, st.Firings, st.Added)
+		}
+		return nil
+
+	case "query":
+		res, err := load(rest, 1)
+		if err != nil {
+			return err
+		}
+		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
+		if err != nil {
+			return fmt.Errorf("query atom: %w", err)
+		}
+		tuples, err := eval.Query(res.Program, db.FromFacts(res.Facts), q, opts)
+		if err != nil {
+			return err
+		}
+		for _, t := range tuples {
+			fmt.Fprintln(out, ast.GroundAtom{Pred: q.Pred, Args: t}.Format(res.Symbols))
+		}
+		return nil
+
+	case "minimize":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		min, trace, err := core.MinimizeProgram(res.Program, core.MinimizeOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, min.Format(res.Symbols))
+		fmt.Fprintf(out, "%% removed %d atoms, %d rules\n", trace.AtomsRemoved(), trace.RulesRemoved())
+		for _, ar := range trace.AtomRemovals {
+			fmt.Fprintf(out, "%%   atom %s from %s\n", ar.Atom.Format(res.Symbols), ar.Rule.Format(res.Symbols))
+		}
+		for _, r := range trace.RuleRemovals {
+			fmt.Fprintf(out, "%%   rule %s\n", r.Format(res.Symbols))
+		}
+		return nil
+
+	case "equivopt":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		opt, removals, err := core.EquivOptimize(res.Program, core.EquivOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, opt.Format(res.Symbols))
+		fmt.Fprintf(out, "%% %d removals under plain equivalence\n", len(removals))
+		for _, r := range removals {
+			fmt.Fprintf(out, "%%   removed %s via tgd %s\n", ast.FormatAtoms(r.Atoms, res.Symbols), r.TGD.Format(res.Symbols))
+		}
+		return nil
+
+	case "contains":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: datalog contains <file1> <file2>")
+		}
+		p1, err := loadProgram(rest[0])
+		if err != nil {
+			return err
+		}
+		p2, err := loadProgram(rest[1])
+		if err != nil {
+			return err
+		}
+		ok12, _, err := chase.UniformlyContains(p1, p2)
+		if err != nil {
+			return err
+		}
+		ok21, _, err := chase.UniformlyContains(p2, p1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "P2 ⊑ᵘ P1: %v\nP1 ⊑ᵘ P2: %v\nP1 ≡ᵘ P2: %v\n", ok12, ok21, ok12 && ok21)
+		return nil
+
+	case "check":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		if len(res.TGDs) == 0 {
+			return fmt.Errorf("check: the file declares no tgds")
+		}
+		outDB, _, err := eval.Eval(res.Program, db.FromFacts(res.Facts), opts)
+		if err != nil {
+			return err
+		}
+		violations := constraint.Violations(outDB, res.TGDs, 20)
+		if len(violations) == 0 {
+			fmt.Fprintln(out, "all constraints satisfied")
+			return nil
+		}
+		for _, v := range violations {
+			fmt.Fprintf(out, "VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("check: %d constraint violation(s)", len(violations))
+
+	case "compare":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: datalog compare <file1> <file2>")
+		}
+		p1, err := loadProgram(rest[0])
+		if err != nil {
+			return err
+		}
+		p2, err := loadProgram(rest[1])
+		if err != nil {
+			return err
+		}
+		return compareReport(out, p1, p2)
+
+	case "preserve":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		if len(res.TGDs) == 0 {
+			return fmt.Errorf("preserve: the file declares no tgds")
+		}
+		v, cex, err := core.PreservesNonRecursively(res.Program, res.TGDs, chase.Budget{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "preserves T non-recursively: %v\n", v)
+		if cex != nil {
+			fmt.Fprintf(out, "counterexample: %v\n", cex)
+		}
+		v, cex, err = core.PreliminarySatisfies(res.Program, res.TGDs, chase.Budget{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "preliminary DB satisfies T: %v\n", v)
+		if cex != nil {
+			fmt.Fprintf(out, "counterexample: %v\n", cex)
+		}
+		return nil
+
+	case "explain":
+		res, err := load(rest, 1)
+		if err != nil {
+			return err
+		}
+		goalAtom, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
+		if err != nil {
+			return fmt.Errorf("goal fact: %w", err)
+		}
+		if !goalAtom.IsGround() {
+			return fmt.Errorf("explain: goal %s must be a ground fact", goalAtom)
+		}
+		prover, err := explain.NewProver(res.Program, db.FromFacts(res.Facts))
+		if err != nil {
+			return err
+		}
+		deriv, ok := prover.Explain(goalAtom.MustGround(nil))
+		if !ok {
+			return fmt.Errorf("explain: %s is not in the program's output", goalAtom)
+		}
+		fmt.Fprint(out, deriv.Format(res.Program, res.Symbols))
+		return nil
+
+	case "repl":
+		return repl(os.Stdin, out)
+
+	case "tquery":
+		res, err := load(rest, 1)
+		if err != nil {
+			return err
+		}
+		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
+		if err != nil {
+			return fmt.Errorf("query atom: %w", err)
+		}
+		eng, err := topdown.New(res.Program, db.FromFacts(res.Facts))
+		if err != nil {
+			return err
+		}
+		tuples, tstats, err := eng.Query(q)
+		if err != nil {
+			return err
+		}
+		for _, t := range tuples {
+			fmt.Fprintln(out, ast.GroundAtom{Pred: q.Pred, Args: t}.Format(res.Symbols))
+		}
+		if *stats {
+			fmt.Fprintf(out, "%% subgoals=%d answers=%d passes=%d\n", tstats.Subgoals, tstats.Answers, tstats.Passes)
+		}
+		return nil
+
+	case "optimize":
+		res, err := load(rest, 1)
+		if err != nil {
+			return err
+		}
+		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
+		if err != nil {
+			return fmt.Errorf("query atom: %w", err)
+		}
+		pres, err := core.OptimizeForQuery(res.Program, q, core.DefaultPipeline())
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, pres.Program.Format(res.Symbols))
+		fmt.Fprintf(out, "%% removed %d rules, %d atoms; seed %s; query %s\n",
+			pres.RulesRemoved, pres.AtomsRemoved,
+			pres.Rewritten.Seed.Format(res.Symbols), pres.Rewritten.Query.Format(res.Symbols))
+		return nil
+
+	case "graph":
+		res, err := load(rest, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, dot.DependenceGraph(res.Program))
+		return nil
+
+	case "magic":
+		res, err := load(rest, 1)
+		if err != nil {
+			return err
+		}
+		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
+		if err != nil {
+			return fmt.Errorf("query atom: %w", err)
+		}
+		rw, err := core.MagicRewrite(res.Program, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, magic.FormatAdornment(rw))
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// load reads and parses the file named by rest[0] ("-" = stdin) and checks
+// that at least extraArgs further arguments are present.
+func load(rest []string, extraArgs int) (*parser.Result, error) {
+	if len(rest) < 1+extraArgs {
+		return nil, fmt.Errorf("missing argument(s)")
+	}
+	src, err := read(rest[0])
+	if err != nil {
+		return nil, err
+	}
+	return parser.Parse(src)
+}
+
+func loadProgram(name string) (*ast.Program, error) {
+	src, err := read(name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return res.Program, nil
+}
+
+func read(name string) (string, error) {
+	if name == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(name)
+	return string(b), err
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tcSource = `
+G(x, z) :- A(x, z).
+G(x, z) :- G(x, y), G(y, z).
+A(1, 2). A(2, 3).
+`
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestParseCommand(t *testing.T) {
+	f := writeFile(t, "tc.dl", tcSource)
+	out := runCLI(t, "parse", f)
+	if !strings.Contains(out, "G(x, z) :- G(x, y), G(y, z).") || !strings.Contains(out, "A(1, 2).") {
+		t.Fatalf("parse output:\n%s", out)
+	}
+}
+
+func TestEvalCommand(t *testing.T) {
+	f := writeFile(t, "tc.dl", tcSource)
+	out := runCLI(t, "-stats", "eval", f)
+	if !strings.Contains(out, "G(1, 3).") {
+		t.Fatalf("eval output:\n%s", out)
+	}
+	if !strings.Contains(out, "% rounds=") {
+		t.Fatalf("missing stats:\n%s", out)
+	}
+	// Naive strategy computes the same closure.
+	outNaive := runCLI(t, "-naive", "eval", f)
+	if !strings.Contains(outNaive, "G(1, 3).") {
+		t.Fatalf("naive eval output:\n%s", outNaive)
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	f := writeFile(t, "tc.dl", tcSource)
+	out := runCLI(t, "query", f, "G(1, y)")
+	if !strings.Contains(out, "G(1, 2)") || !strings.Contains(out, "G(1, 3)") {
+		t.Fatalf("query output:\n%s", out)
+	}
+	if strings.Contains(out, "G(2, 3)") {
+		t.Fatalf("query not filtered:\n%s", out)
+	}
+}
+
+func TestMinimizeCommand(t *testing.T) {
+	f := writeFile(t, "red.dl", `
+G(x, y, z) :- G(x, w, z), A(w, y), A(w, z), A(z, z), A(z, y).
+`)
+	out := runCLI(t, "minimize", f)
+	if !strings.Contains(out, "removed 1 atoms") || !strings.Contains(out, "A(w, y)") {
+		t.Fatalf("minimize output:\n%s", out)
+	}
+}
+
+func TestEquivoptCommand(t *testing.T) {
+	f := writeFile(t, "ex18.dl", `
+G(x, z) :- A(x, z).
+G(x, z) :- G(x, y), G(y, z), A(y, w).
+`)
+	out := runCLI(t, "equivopt", f)
+	if !strings.Contains(out, "1 removals") || !strings.Contains(out, "-> A(y, w)") {
+		t.Fatalf("equivopt output:\n%s", out)
+	}
+}
+
+func TestContainsCommand(t *testing.T) {
+	f1 := writeFile(t, "p1.dl", "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z).\n")
+	f2 := writeFile(t, "p2.dl", "G(x, z) :- A(x, z).\nG(x, z) :- A(x, y), G(y, z).\n")
+	out := runCLI(t, "contains", f1, f2)
+	if !strings.Contains(out, "P2 ⊑ᵘ P1: true") || !strings.Contains(out, "P1 ⊑ᵘ P2: false") {
+		t.Fatalf("contains output:\n%s", out)
+	}
+}
+
+func TestPreserveCommand(t *testing.T) {
+	f := writeFile(t, "pres.dl", `
+G(x, z) :- A(x, z).
+G(x, z) :- G(x, y), G(y, z), A(y, w).
+G(x, z) -> A(x, w).
+`)
+	out := runCLI(t, "preserve", f)
+	if !strings.Contains(out, "preserves T non-recursively: yes") {
+		t.Fatalf("preserve output:\n%s", out)
+	}
+	if !strings.Contains(out, "preliminary DB satisfies T: yes") {
+		t.Fatalf("preserve output:\n%s", out)
+	}
+}
+
+func TestMagicCommand(t *testing.T) {
+	f := writeFile(t, "anc.dl", `
+Anc(x, y) :- Par(x, y).
+Anc(x, z) :- Par(x, y), Anc(y, z).
+`)
+	out := runCLI(t, "magic", f, "Anc(1, y)")
+	if !strings.Contains(out, "m@Anc@bf") || !strings.Contains(out, "seed:") {
+		t.Fatalf("magic output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"bogus"}, &sb); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"eval"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	f := writeFile(t, "bad.dl", "G(x :- A(x).")
+	if err := run([]string{"eval", f}, &sb); err == nil {
+		t.Fatal("syntax error not surfaced")
+	}
+	if err := run([]string{"eval", filepath.Join(t.TempDir(), "missing.dl")}, &sb); err == nil {
+		t.Fatal("missing file not surfaced")
+	}
+	f2 := writeFile(t, "tc.dl", tcSource)
+	if err := run([]string{"query", f2, "G(1,"}, &sb); err == nil {
+		t.Fatal("bad query atom accepted")
+	}
+	if err := run([]string{"preserve", f2}, &sb); err == nil {
+		t.Fatal("preserve without tgds accepted")
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	f := writeFile(t, "tc.dl", tcSource)
+	out := runCLI(t, "explain", f, "G(1, 3)")
+	if !strings.Contains(out, "G(1, 3)") || !strings.Contains(out, "[input]") {
+		t.Fatalf("explain output:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run([]string{"explain", f, "G(3, 1)"}, &sb); err == nil {
+		t.Fatal("absent fact explained")
+	}
+	if err := run([]string{"explain", f, "G(x, y)"}, &sb); err == nil {
+		t.Fatal("non-ground goal accepted")
+	}
+}
+
+func TestGraphCommand(t *testing.T) {
+	f := writeFile(t, "tc.dl", tcSource)
+	out := runCLI(t, "graph", f)
+	if !strings.Contains(out, "digraph dependence") || !strings.Contains(out, `"A" -> "G"`) {
+		t.Fatalf("graph output:\n%s", out)
+	}
+}

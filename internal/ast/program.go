@@ -1,0 +1,254 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is a set of Datalog rules (Section II). The order of rules is kept
+// for deterministic iteration but carries no semantics.
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram builds a program from rules.
+func NewProgram(rules ...Rule) *Program {
+	return &Program{Rules: rules}
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	rules := make([]Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = r.Clone()
+	}
+	return &Program{Rules: rules}
+}
+
+// Equal reports whether two programs have identical rule lists.
+func (p *Program) Equal(q *Program) bool {
+	if len(p.Rules) != len(q.Rules) {
+		return false
+	}
+	for i := range p.Rules {
+		if !p.Rules[i].Equal(q.Rules[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks every rule and the consistency of predicate arities across
+// the whole program (a predicate is a relation scheme and has one arity).
+func (p *Program) Validate() error {
+	arity := make(map[string]int)
+	check := func(a Atom, where string) error {
+		if n, ok := arity[a.Pred]; ok {
+			if n != a.Arity() {
+				return fmt.Errorf("ast: predicate %s used with arities %d and %d (%s)", a.Pred, n, a.Arity(), where)
+			}
+		} else {
+			arity[a.Pred] = a.Arity()
+		}
+		return nil
+	}
+	for i, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
+		}
+		where := fmt.Sprintf("rule %d", i)
+		if err := check(r.Head, where); err != nil {
+			return err
+		}
+		for _, a := range r.Body {
+			if err := check(a, where); err != nil {
+				return err
+			}
+		}
+		for _, a := range r.NegBody {
+			if err := check(a, where); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HasNegation reports whether any rule uses the stratified-negation
+// extension.
+func (p *Program) HasNegation() bool {
+	for _, r := range p.Rules {
+		if r.HasNegation() {
+			return true
+		}
+	}
+	return false
+}
+
+// IDBPredicates returns the intentional predicates: those appearing as the
+// head of some rule (Section III).
+func (p *Program) IDBPredicates() map[string]bool {
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	return idb
+}
+
+// EDBPredicates returns the extensional predicates: those appearing only in
+// rule bodies (Section III).
+func (p *Program) EDBPredicates() map[string]bool {
+	idb := p.IDBPredicates()
+	edb := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if !idb[a.Pred] {
+				edb[a.Pred] = true
+			}
+		}
+		for _, a := range r.NegBody {
+			if !idb[a.Pred] {
+				edb[a.Pred] = true
+			}
+		}
+	}
+	return edb
+}
+
+// Predicates returns every predicate of the program with its arity, in
+// sorted order.
+func (p *Program) Predicates() []PredicateSig {
+	arity := make(map[string]int)
+	add := func(a Atom) { arity[a.Pred] = a.Arity() }
+	for _, r := range p.Rules {
+		add(r.Head)
+		for _, a := range r.Body {
+			add(a)
+		}
+		for _, a := range r.NegBody {
+			add(a)
+		}
+	}
+	sigs := make([]PredicateSig, 0, len(arity))
+	for name, n := range arity {
+		sigs = append(sigs, PredicateSig{Name: name, Arity: n})
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Name < sigs[j].Name })
+	return sigs
+}
+
+// PredicateSig names a predicate together with its arity.
+type PredicateSig struct {
+	Name  string
+	Arity int
+}
+
+// WithoutRule returns a copy of the program with rule i removed; it is the
+// deletion step of the Fig. 2 minimization algorithm.
+func (p *Program) WithoutRule(i int) *Program {
+	rules := make([]Rule, 0, len(p.Rules)-1)
+	for j, r := range p.Rules {
+		if j != i {
+			rules = append(rules, r.Clone())
+		}
+	}
+	return &Program{Rules: rules}
+}
+
+// ReplaceRule returns a copy of the program with rule i replaced by r.
+func (p *Program) ReplaceRule(i int, r Rule) *Program {
+	out := p.Clone()
+	out.Rules[i] = r.Clone()
+	return out
+}
+
+// InitRules returns the initialization rules of the program: rules whose
+// body mentions only extensional predicates (Section X). The returned
+// program Pⁱ is non-recursive by construction.
+func (p *Program) InitRules() *Program {
+	idb := p.IDBPredicates()
+	var rules []Rule
+	for _, r := range p.Rules {
+		init := true
+		for _, a := range r.Body {
+			if idb[a.Pred] {
+				init = false
+				break
+			}
+		}
+		for _, a := range r.NegBody {
+			if idb[a.Pred] {
+				init = false
+				break
+			}
+		}
+		if init {
+			rules = append(rules, r.Clone())
+		}
+	}
+	return &Program{Rules: rules}
+}
+
+// Consts returns the set of constants appearing anywhere in the program.
+func (p *Program) Consts() map[Const]bool {
+	set := make(map[Const]bool)
+	for _, r := range p.Rules {
+		ConstsOfAtoms([]Atom{r.Head}, set)
+		ConstsOfAtoms(r.Body, set)
+		ConstsOfAtoms(r.NegBody, set)
+	}
+	return set
+}
+
+// BodyAtomCount returns the total number of positive body atoms across all
+// rules — the join count the paper's optimization reduces.
+func (p *Program) BodyAtomCount() int {
+	n := 0
+	for _, r := range p.Rules {
+		n += len(r.Body)
+	}
+	return n
+}
+
+// TrivialRules returns, for each intentional predicate, the trivial rule
+// Q(x1,…,xn) :- Q(x1,…,xn) that Section IX augments programs with when
+// testing non-recursive preservation of tgds.
+func (p *Program) TrivialRules() []Rule {
+	idb := p.IDBPredicates()
+	arities := make(map[string]int)
+	for _, r := range p.Rules {
+		if idb[r.Head.Pred] {
+			arities[r.Head.Pred] = r.Head.Arity()
+		}
+	}
+	names := make([]string, 0, len(arities))
+	for name := range arities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rules := make([]Rule, 0, len(names))
+	for _, name := range names {
+		n := arities[name]
+		args := make([]Term, n)
+		for i := range args {
+			args[i] = Var(fmt.Sprintf("x%d", i+1))
+		}
+		at := Atom{Pred: name, Args: args}
+		rules = append(rules, Rule{Head: at.Clone(), Body: []Atom{at}})
+	}
+	return rules
+}
+
+// String renders the program one rule per line.
+func (p *Program) String() string { return p.Format(nil) }
+
+// Format renders the program, resolving symbolic constants through tab.
+func (p *Program) Format(tab *SymbolTable) string {
+	var sb strings.Builder
+	for _, r := range p.Rules {
+		sb.WriteString(r.Format(tab))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

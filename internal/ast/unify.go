@@ -1,0 +1,84 @@
+package ast
+
+// Unifier computes most general unifiers of function-free terms and atoms.
+// Bindings map variable names to terms, with chains resolved on lookup;
+// there is no occurs-check because Datalog has no function symbols. The
+// zero value is not useful; use NewUnifier.
+//
+// Callers that unify atoms from different rules must rename the rules apart
+// first — the unifier treats equal variable names as the same variable.
+type Unifier struct {
+	s Subst
+}
+
+// NewUnifier returns an empty unifier.
+func NewUnifier() *Unifier {
+	return &Unifier{s: Subst{}}
+}
+
+// Resolve follows variable bindings until reaching a constant or an unbound
+// variable.
+func (u *Unifier) Resolve(t Term) Term {
+	for t.IsVar {
+		next, ok := u.s[t.Name]
+		if !ok {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// UnifyTerms attempts to unify two terms, extending the substitution. On
+// failure the unifier may hold a partially extended substitution; callers
+// treat failure as fatal for the whole unification problem.
+func (u *Unifier) UnifyTerms(a, b Term) bool {
+	a, b = u.Resolve(a), u.Resolve(b)
+	switch {
+	case a.IsVar && b.IsVar:
+		if a.Name != b.Name {
+			u.s[a.Name] = b
+		}
+		return true
+	case a.IsVar:
+		u.s[a.Name] = b
+		return true
+	case b.IsVar:
+		u.s[b.Name] = a
+		return true
+	default:
+		return a.Val == b.Val
+	}
+}
+
+// UnifyAtoms attempts to unify two atoms position-wise.
+func (u *Unifier) UnifyAtoms(a, b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !u.UnifyTerms(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply rewrites an atom under the current substitution, fully resolving
+// variable chains.
+func (u *Unifier) Apply(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = u.Resolve(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAll rewrites a conjunction under the current substitution.
+func (u *Unifier) ApplyAll(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = u.Apply(a)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/explain"
+)
+
+// UniformlyContainsRuleCertified decides r ⊑ᵘ p and, on success, returns a
+// machine-checkable derivation tree proving the frozen head from the
+// frozen body — a certificate a skeptical caller can re-verify with
+// explain.Verify without trusting the chase. On a negative answer the
+// certificate is nil and the frozen body itself is the counterexample
+// (see Certificate and TestChaseNoHasCanonicalWitness).
+func UniformlyContainsRuleCertified(p *ast.Program, r ast.Rule) (bool, *Certificate, *explain.Derivation, error) {
+	if p.HasNegation() || r.HasNegation() {
+		return false, nil, nil, fmt.Errorf("chase: uniform containment is defined for pure Datalog")
+	}
+	head, body := FreezeRule(r)
+	prover, err := explain.NewProver(p, body)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	deriv, ok := prover.Explain(head)
+	if !ok {
+		return false, nil, nil, nil
+	}
+	cert := &Certificate{Rule: r.Clone(), Head: head, Body: body}
+	return true, cert, deriv, nil
+}
+
+// VerifyCertificate re-checks a certificate independently: the derivation
+// must be a valid proof of the certificate's head over its body under p.
+func VerifyCertificate(p *ast.Program, cert *Certificate, deriv *explain.Derivation) error {
+	if !deriv.Fact.Equal(cert.Head) {
+		return fmt.Errorf("chase: certificate proves %v, want %v", deriv.Fact, cert.Head)
+	}
+	return explain.Verify(p, cert.Body, deriv)
+}

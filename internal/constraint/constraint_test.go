@@ -1,0 +1,137 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func ga(pred string, args ...int64) ast.GroundAtom {
+	cs := make([]ast.Const, len(args))
+	for i, a := range args {
+		cs[i] = ast.Int(a)
+	}
+	return ast.GroundAtom{Pred: pred, Args: cs}
+}
+
+// example9DB is the Example 2 output: G = transitive closure of A.
+func example9DB() *db.Database {
+	return eval.MustEval(workload.TransitiveClosure(),
+		db.FromFacts([]ast.GroundAtom{ga("A", 1, 2), ga("A", 1, 4), ga("A", 4, 1)}))
+}
+
+func TestExample9(t *testing.T) {
+	d := example9DB()
+	bad := parser.MustParseTGD("G(x, y) -> A(y, z), A(z, x).")
+	good := parser.MustParseTGD("G(x, y) -> G(x, z), A(z, y).")
+
+	if Satisfies(d, []ast.TGD{bad}) {
+		t.Fatal("Example 9's violated tgd reported satisfied")
+	}
+	if !Satisfies(d, []ast.TGD{good}) {
+		t.Fatal("Example 9's satisfied tgd reported violated")
+	}
+
+	// The paper pinpoints the violation at x=4, y=2.
+	vs := Violations(d, []ast.TGD{bad}, 0)
+	found := false
+	for _, v := range vs {
+		if v.Binding["x"] == ast.Int(4) && v.Binding["y"] == ast.Int(2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation at (4,2) not reported; got %v", vs)
+	}
+}
+
+func TestViolationsLimit(t *testing.T) {
+	d := example9DB()
+	bad := parser.MustParseTGD("G(x, y) -> Z(x).")
+	all := Violations(d, []ast.TGD{bad}, 0)
+	if len(all) != d.Relation("G").Len() {
+		t.Fatalf("want one violation per G fact, got %d", len(all))
+	}
+	two := Violations(d, []ast.TGD{bad}, 2)
+	if len(two) != 2 {
+		t.Fatalf("limit ignored: %d", len(two))
+	}
+	if !strings.Contains(two[0].String(), "violated at") {
+		t.Fatalf("violation rendering: %s", two[0])
+	}
+}
+
+func TestRepairFullTgd(t *testing.T) {
+	d := db.FromFacts([]ast.GroundAtom{ga("A", 1, 2), ga("A", 2, 3)})
+	sym := parser.MustParseTGD("A(x, y) -> A(y, x).")
+	res, err := Repair(d.Clone(), []ast.TGD{sym}, chase.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("full-tgd repair did not complete")
+	}
+	if !Satisfies(res.DB, []ast.TGD{sym}) {
+		t.Fatal("repair left violations")
+	}
+	if !res.DB.Has(ga("A", 2, 1)) || !res.DB.Has(ga("A", 3, 2)) {
+		t.Fatalf("repair missing symmetric edges: %v", res.DB)
+	}
+}
+
+func TestRepairEmbeddedTgdAddsNulls(t *testing.T) {
+	// Terminating embedded tgd: every employee needs SOME manager record,
+	// but managers need nothing further — one null per employee suffices.
+	d := db.FromFacts([]ast.GroundAtom{ga("Emp", 7), ga("Emp", 8)})
+	works := parser.MustParseTGD("Emp(x) -> WorksFor(x, m).")
+	res, err := Repair(d.Clone(), []ast.TGD{works}, chase.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("embedded repair did not complete:\n%v", res.DB)
+	}
+	if !Satisfies(res.DB, []ast.TGD{works}) {
+		t.Fatal("repair left violations")
+	}
+	foundNull := false
+	for _, f := range res.DB.Facts() {
+		if f.Pred == "WorksFor" && ast.IsNull(f.Args[1]) {
+			foundNull = true
+		}
+	}
+	if !foundNull {
+		t.Fatalf("no null manager invented:\n%v", res.DB)
+	}
+}
+
+func TestRepairDivergingTgdHitsBudget(t *testing.T) {
+	// Emp(x) → WorksFor(x,m) ∧ Emp(m) forces an infinite manager chain:
+	// each invented null manager is itself an Emp and re-fires the tgd.
+	// The restricted chase cannot terminate; the budget must cut it off.
+	d := db.FromFacts([]ast.GroundAtom{ga("Emp", 7)})
+	works := parser.MustParseTGD("Emp(x) -> WorksFor(x, m), Emp(m).")
+	res, err := Repair(d.Clone(), []ast.TGD{works}, chase.Budget{MaxAtoms: 60, MaxRounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatalf("diverging repair reported complete:\n%v", res.DB)
+	}
+}
+
+func TestSatisfiesEmptyCases(t *testing.T) {
+	if !Satisfies(db.New(), nil) {
+		t.Fatal("empty everything not satisfied")
+	}
+	tau := parser.MustParseTGD("G(x, y) -> A(x).")
+	if !Satisfies(db.New(), []ast.TGD{tau}) {
+		t.Fatal("empty DB violates a tgd")
+	}
+}

@@ -1,0 +1,358 @@
+// Package core is the public facade of the library: one import giving
+// access to the paper's contributions and every substrate they stand on.
+//
+// The library reproduces Yehoshua Sagiv, "Optimizing Datalog Programs"
+// (PODS 1987):
+//
+//   - Parse / ParseProgram / ParseTGD — the concrete Datalog syntax.
+//   - Eval / NonRecursive / PreliminaryDB — bottom-up computation
+//     (Section III) and the auxiliary operators of Sections IX–X.
+//   - UniformlyContains / UniformlyEquivalent — the decidable containment
+//     test of Section VI.
+//   - MinimizeRule / MinimizeProgram — the Figs. 1–2 minimization under
+//     uniform equivalence (Section VII).
+//   - ChaseApply / SATModelsContained — the combined [P,T] chase of
+//     Section VIII.
+//   - PreservesNonRecursively / PreliminarySatisfies — the Fig. 3
+//     procedure and condition (3′) of Sections IX–X.
+//   - EquivOptimize — the Section XI optimization under plain equivalence.
+//   - MagicRewrite / MagicAnswer — the magic-sets evaluation method the
+//     optimizations compose with.
+//
+// A minimal session:
+//
+//	res, _ := core.Parse(`
+//	    G(x, z) :- A(x, z).
+//	    G(x, z) :- G(x, y), G(y, z), A(y, w).
+//	    A(1, 2). A(2, 3).
+//	`)
+//	opt, removals, _ := core.EquivOptimize(res.Program, core.EquivOptions{})
+//	out, _, _ := core.Eval(opt, db.FromFacts(res.Facts), core.EvalOptions{})
+package core
+
+import (
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/db"
+	"repro/internal/equivopt"
+	"repro/internal/eval"
+	"repro/internal/explain"
+	"repro/internal/magic"
+	"repro/internal/minimize"
+	"repro/internal/parser"
+	"repro/internal/preserve"
+	"repro/internal/rewrite"
+	"repro/internal/topdown"
+	"repro/internal/unfold"
+)
+
+// Re-exported core types.
+type (
+	// Program is a set of Datalog rules.
+	Program = ast.Program
+	// Rule is a single Horn clause.
+	Rule = ast.Rule
+	// Atom is an atomic formula.
+	Atom = ast.Atom
+	// TGD is a tuple-generating dependency.
+	TGD = ast.TGD
+	// GroundAtom is a fact.
+	GroundAtom = ast.GroundAtom
+	// Const is a constant value (integer, interned symbol, frozen constant,
+	// or labeled null).
+	Const = ast.Const
+	// Database is a set of facts grouped into relations.
+	Database = db.Database
+	// ParseResult bundles the rules, facts, tgds and symbol table of a
+	// parsed source.
+	ParseResult = parser.Result
+	// EvalOptions configures bottom-up evaluation.
+	EvalOptions = eval.Options
+	// EvalStats reports evaluation work.
+	EvalStats = eval.Stats
+	// Budget bounds potentially diverging chases.
+	Budget = chase.Budget
+	// Verdict is a three-valued chase outcome (Yes / No / Unknown).
+	Verdict = chase.Verdict
+	// MinimizeOptions configures Figs. 1–2 minimization.
+	MinimizeOptions = minimize.Options
+	// MinimizeTrace records what minimization removed.
+	MinimizeTrace = minimize.Trace
+	// EquivOptions configures the Section XI equivalence optimizer.
+	EquivOptions = equivopt.Options
+	// EquivRemoval records one equivalence-preserving deletion.
+	EquivRemoval = equivopt.Removal
+	// MagicRewritten is the output of the magic-sets transformation.
+	MagicRewritten = magic.Rewritten
+	// PreserveCounterexample witnesses a preservation failure.
+	PreserveCounterexample = preserve.Counterexample
+)
+
+// Verdict values.
+const (
+	Yes     = chase.Yes
+	No      = chase.No
+	Unknown = chase.Unknown
+)
+
+// Parse parses a source of rules, facts and tgds.
+func Parse(src string) (*ParseResult, error) { return parser.Parse(src) }
+
+// ParseProgram parses a source containing only rules.
+func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src) }
+
+// ParseTGD parses a single tuple-generating dependency.
+func ParseTGD(src string) (TGD, error) { return parser.ParseTGD(src) }
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return db.New() }
+
+// FromFacts builds a database from facts.
+func FromFacts(facts []GroundAtom) *Database { return db.FromFacts(facts) }
+
+// Eval computes P(input), the least model of p containing input
+// (Section III).
+func Eval(p *Program, input *Database, opts EvalOptions) (*Database, EvalStats, error) {
+	return eval.Eval(p, input, opts)
+}
+
+// NonRecursive computes Pⁿ(d), the one-step application of Section IX.
+func NonRecursive(p *Program, d *Database) *Database { return eval.NonRecursive(p, d) }
+
+// PreliminaryDB computes the preliminary DB ⟨d, Pⁱ(d)⟩ of Section X.
+func PreliminaryDB(p *Program, edb *Database) *Database { return eval.PreliminaryDB(p, edb) }
+
+// IsModel reports whether d is a model of p (Section IV).
+func IsModel(p *Program, d *Database) bool { return eval.IsModel(p, d) }
+
+// UniformlyContains decides P₂ ⊑ᵘ P₁ (Section VI); the int is the index of
+// the first offending rule of p2 on failure, -1 on success.
+func UniformlyContains(p1, p2 *Program) (bool, int, error) {
+	return chase.UniformlyContains(p1, p2)
+}
+
+// UniformlyEquivalent decides P₁ ≡ᵘ P₂ (Section VI).
+func UniformlyEquivalent(p1, p2 *Program) (bool, error) {
+	return chase.UniformlyEquivalent(p1, p2)
+}
+
+// MinimizeRule minimizes one rule under uniform equivalence (Fig. 1).
+func MinimizeRule(r Rule, opts MinimizeOptions) (Rule, MinimizeTrace, error) {
+	return minimize.Rule(r, opts)
+}
+
+// MinimizeProgram minimizes a program under uniform equivalence (Fig. 2).
+func MinimizeProgram(p *Program, opts MinimizeOptions) (*Program, MinimizeTrace, error) {
+	return minimize.Program(p, opts)
+}
+
+// ChaseApply computes [P, T](d), the combined program/tgd closure of
+// Section VIII, within the budget.
+func ChaseApply(p *Program, tgds []TGD, d *Database, budget Budget) (chase.Result, error) {
+	return chase.Apply(p, tgds, d, budget)
+}
+
+// SATModelsContained decides SAT(T) ∩ M(P₁) ⊆ M(P₂) (Section VIII).
+func SATModelsContained(p1 *Program, tgds []TGD, p2 *Program, budget Budget) (Verdict, error) {
+	return chase.SATModelsContained(p1, tgds, p2, budget)
+}
+
+// PreservesNonRecursively runs the Fig. 3 procedure (Section IX).
+func PreservesNonRecursively(p *Program, tgds []TGD, budget Budget) (Verdict, *PreserveCounterexample, error) {
+	return preserve.NonRecursively(p, tgds, budget)
+}
+
+// PreliminarySatisfies decides condition (3′) of Section X.
+func PreliminarySatisfies(p *Program, tgds []TGD, budget Budget) (Verdict, *PreserveCounterexample, error) {
+	return preserve.PreliminarySatisfies(p, tgds, budget)
+}
+
+// EquivOptimize runs the Section XI optimization under plain equivalence.
+func EquivOptimize(p *Program, opts EquivOptions) (*Program, []EquivRemoval, error) {
+	return equivopt.Optimize(p, opts)
+}
+
+// MagicRewrite performs the magic-sets transformation for a query atom.
+func MagicRewrite(p *Program, query Atom) (*MagicRewritten, error) {
+	return magic.Rewrite(p, query)
+}
+
+// MagicAnswer answers a query via the magic-sets rewriting.
+func MagicAnswer(p *Program, edb *Database, query Atom, opts EvalOptions) ([][]Const, magic.Stats, error) {
+	return magic.Answer(p, edb, query, opts)
+}
+
+// DirectAnswer answers a query by full evaluation plus filtering — the
+// baseline against which magic evaluation is compared.
+func DirectAnswer(p *Program, edb *Database, query Atom, opts EvalOptions) ([][]Const, magic.Stats, error) {
+	return magic.DirectAnswer(p, edb, query, opts)
+}
+
+// --- Extensions beyond the paper's core (see DESIGN.md S16–S21) -----------
+
+// MinimizeStratified minimizes a program with stratified negation (the
+// Section XII extension) via the encoding documented in internal/minimize.
+func MinimizeStratified(p *Program, opts MinimizeOptions) (*Program, MinimizeTrace, error) {
+	return minimize.StratifiedProgram(p, opts)
+}
+
+// UniformlyContainsRuleCertified is UniformlyContainsRule returning a
+// machine-checkable derivation certificate on success.
+func UniformlyContainsRuleCertified(p *Program, r Rule) (bool, *chase.Certificate, *explain.Derivation, error) {
+	return chase.UniformlyContainsRuleCertified(p, r)
+}
+
+// PreliminarySatisfiesAtDepth is the generalized condition (3′) of
+// Section X's closing remark, with the preliminary DB taken at unfolding
+// depth k.
+func PreliminarySatisfiesAtDepth(p *Program, tgds []TGD, depth int, budget Budget) (Verdict, *PreserveCounterexample, error) {
+	return preserve.PreliminarySatisfiesAtDepth(p, tgds, depth, budget)
+}
+
+// PreservesNonRecursivelyAtDepth is the k-round generalization of Fig. 3.
+func PreservesNonRecursivelyAtDepth(p *Program, tgds []TGD, depth int, budget Budget) (Verdict, *PreserveCounterexample, error) {
+	return preserve.NonRecursivelyAtDepth(p, tgds, depth, budget)
+}
+
+// UnfoldToDepth expresses k rounds of p as a non-recursive EDB-bodied
+// program (Section X's remark; internal/unfold).
+func UnfoldToDepth(p *Program, k, maxRules int) (unfold.Result, error) {
+	return unfold.ToDepth(p, k, maxRules)
+}
+
+// Incremental maintains a computed output under fact insertion
+// (internal/eval; pure Datalog only).
+func Incremental(p *Program, out *Database, newFacts []GroundAtom, opts EvalOptions) (*Database, EvalStats, error) {
+	return eval.Incremental(p, out, newFacts, opts)
+}
+
+// NewTopDown builds a tabled top-down engine over p and edb.
+func NewTopDown(p *Program, edb *Database) (*topdown.Engine, error) {
+	return topdown.New(p, edb)
+}
+
+// NewProver evaluates p on input while recording provenance; use
+// Prover.Explain for derivation trees.
+func NewProver(p *Program, input *Database) (*explain.Prover, error) {
+	return explain.NewProver(p, input)
+}
+
+// UnfoldRuleAtom applies single-step rule unfolding (internal/rewrite).
+func UnfoldRuleAtom(p *Program, ruleIdx, atomIdx int) (*Program, error) {
+	return rewrite.UnfoldAtom(p, ruleIdx, atomIdx)
+}
+
+// RemoveUnreachable prunes rules that cannot contribute to queryPred.
+func RemoveUnreachable(p *Program, queryPred string) *Program {
+	return rewrite.RemoveUnreachable(p, queryPred)
+}
+
+// RemoveUnfounded prunes rules that can never fire on any EDB input.
+func RemoveUnfounded(p *Program) *Program {
+	return rewrite.RemoveUnfounded(p)
+}
+
+// PipelineOptions configures OptimizeForQuery.
+type PipelineOptions struct {
+	// Minimize runs Fig. 2 minimization (default on when zero-valued
+	// options are used via DefaultPipeline).
+	Minimize bool
+	// EquivOpt runs the Section XI optimization under plain equivalence.
+	EquivOpt bool
+	// Prune removes unfounded rules and rules unreachable from the query.
+	Prune bool
+	// Magic applies the magic-sets rewriting for the query as the final
+	// step.
+	Magic bool
+	// MinimizeOptions and EquivOptions configure the respective passes.
+	MinimizeOptions MinimizeOptions
+	EquivOptions    EquivOptions
+}
+
+// DefaultPipeline enables every pass.
+func DefaultPipeline() PipelineOptions {
+	return PipelineOptions{Minimize: true, EquivOpt: true, Prune: true, Magic: true}
+}
+
+// PipelineResult reports what OptimizeForQuery did.
+type PipelineResult struct {
+	// Program is the optimized program. When Magic ran it is the rewritten
+	// program and Rewritten is non-nil; evaluate it over the EDB plus
+	// Rewritten.Seed and read answers from Rewritten.Query.
+	Program *Program
+	// Rewritten is the magic transformation output (nil if Magic was off).
+	Rewritten *MagicRewritten
+	// RulesRemoved counts rules dropped by pruning and minimization.
+	RulesRemoved int
+	// AtomsRemoved counts body atoms dropped by minimization and the
+	// equivalence optimizer.
+	AtomsRemoved int
+}
+
+// OptimizeForQuery runs the repository's full optimization pipeline for a
+// query: unfounded/unreachable pruning, Fig. 2 minimization, the
+// Section XI equivalence optimization, and the magic-sets rewriting — the
+// composition the paper's introduction motivates ("removing redundant
+// parts can only speed up the [magic set] computation").
+func OptimizeForQuery(p *Program, query Atom, opts PipelineOptions) (*PipelineResult, error) {
+	cur := p.Clone()
+	res := &PipelineResult{}
+
+	if opts.Prune {
+		before := len(cur.Rules)
+		cur = rewrite.RemoveUnfounded(cur)
+		cur = rewrite.RemoveUnreachable(cur, query.Pred)
+		res.RulesRemoved += before - len(cur.Rules)
+	}
+	if opts.Minimize {
+		min, trace, err := minimize.Program(cur, opts.MinimizeOptions)
+		if err != nil {
+			return nil, err
+		}
+		cur = min
+		res.RulesRemoved += trace.RulesRemoved()
+		res.AtomsRemoved += trace.AtomsRemoved()
+	}
+	if opts.EquivOpt {
+		opt, removals, err := equivopt.Optimize(cur, opts.EquivOptions)
+		if err != nil {
+			return nil, err
+		}
+		cur = opt
+		for _, r := range removals {
+			res.AtomsRemoved += len(r.Atoms)
+		}
+	}
+	if opts.Magic {
+		rw, err := magic.Rewrite(cur, query)
+		if err != nil {
+			return nil, err
+		}
+		res.Rewritten = rw
+		res.Program = rw.Program
+		return res, nil
+	}
+	res.Program = cur
+	return res, nil
+}
+
+// StratifiedUniformlyContains is the conservative stratified-negation
+// extension of UniformlyContains (Section XII direction; see
+// internal/chase for the encoding and its soundness argument).
+func StratifiedUniformlyContains(p1, p2 *Program) (bool, int, error) {
+	return chase.StratifiedUniformlyContains(p1, p2)
+}
+
+// NewCountingProver evaluates p on input recording every justification,
+// for derivation counting (why-provenance); see internal/explain.
+func NewCountingProver(p *Program, input *Database) (*explain.CountingProver, error) {
+	return explain.NewCountingProver(p, input)
+}
+
+// MagicAnswerStratified answers a query through the magic rewriting for
+// programs with stratified negation: strata below the query are
+// materialized bottom-up, the query's stratum is magic-rewritten with its
+// negation checks kept against the complete lower relations.
+func MagicAnswerStratified(p *Program, edb *Database, query Atom, opts EvalOptions) ([][]Const, magic.Stats, error) {
+	return magic.AnswerStratified(p, edb, query, opts)
+}

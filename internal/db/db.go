@@ -1,0 +1,230 @@
+// Package db implements the ground-atom databases of Section III: a DB is a
+// set of ground atoms, viewed as a collection of relations, one per
+// predicate. Relations keep insertion order, stamp every tuple with the
+// evaluation round that produced it (which is what makes semi-naive
+// evaluation possible), and build hash indexes lazily for join lookups.
+package db
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Database is a set of ground atoms grouped into relations by predicate.
+// Tuples are stamped with the round counter current at insertion time;
+// see BeginRound.
+type Database struct {
+	rels  map[string]*Relation
+	round int32
+	size  int
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// FromFacts builds a database holding exactly the given ground atoms.
+func FromFacts(facts []ast.GroundAtom) *Database {
+	d := New()
+	for _, g := range facts {
+		d.Add(g)
+	}
+	return d
+}
+
+// Round returns the current round stamp.
+func (d *Database) Round() int32 { return d.round }
+
+// BeginRound advances the round counter; tuples added afterwards are stamped
+// with the new round. It returns the new round number.
+func (d *Database) BeginRound() int32 {
+	d.round++
+	return d.round
+}
+
+// Add inserts a ground atom, returning true if it was new. Newly created
+// relations take their arity from the first atom inserted; inserting a tuple
+// of a different arity for an existing predicate panics, since programs are
+// arity-checked before evaluation.
+func (d *Database) Add(g ast.GroundAtom) bool {
+	return d.AddTuple(g.Pred, g.Args)
+}
+
+// AddTuple inserts args as a tuple of pred, returning true if it was new.
+func (d *Database) AddTuple(pred string, args []ast.Const) bool {
+	r, ok := d.rels[pred]
+	if !ok {
+		r = newRelation(len(args))
+		d.rels[pred] = r
+	}
+	if r.insert(args, d.round) {
+		d.size++
+		return true
+	}
+	return false
+}
+
+// Has reports whether the ground atom is present.
+func (d *Database) Has(g ast.GroundAtom) bool {
+	return d.HasTuple(g.Pred, g.Args)
+}
+
+// HasTuple reports whether args is a tuple of pred.
+func (d *Database) HasTuple(pred string, args []ast.Const) bool {
+	r, ok := d.rels[pred]
+	if !ok || r.arity != len(args) {
+		return false
+	}
+	_, present := r.byKey[encodeKey(args)]
+	return present
+}
+
+// Relation returns the relation for pred, or nil if no tuple of pred has
+// been inserted.
+func (d *Database) Relation(pred string) *Relation { return d.rels[pred] }
+
+// Preds returns the predicates with at least one tuple, sorted.
+func (d *Database) Preds() []string {
+	preds := make([]string, 0, len(d.rels))
+	for p, r := range d.rels {
+		if r.Len() > 0 {
+			preds = append(preds, p)
+		}
+	}
+	sort.Strings(preds)
+	return preds
+}
+
+// Len returns the total number of ground atoms.
+func (d *Database) Len() int { return d.size }
+
+// Clone returns a deep copy of the database (round stamps included).
+func (d *Database) Clone() *Database {
+	c := &Database{rels: make(map[string]*Relation, len(d.rels)), round: d.round, size: d.size}
+	for p, r := range d.rels {
+		c.rels[p] = r.clone()
+	}
+	return c
+}
+
+// AddAll inserts every fact of other, returning the number of new facts.
+func (d *Database) AddAll(other *Database) int {
+	added := 0
+	for _, p := range other.Preds() {
+		r := other.rels[p]
+		for i := 0; i < r.Len(); i++ {
+			if d.AddTuple(p, r.Tuple(i)) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// Contains reports whether every fact of other is present in d.
+func (d *Database) Contains(other *Database) bool {
+	for p, r := range other.rels {
+		for i := 0; i < r.Len(); i++ {
+			if !d.HasTuple(p, r.Tuple(i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether d and other hold exactly the same set of facts.
+func (d *Database) Equal(other *Database) bool {
+	return d.size == other.size && d.Contains(other) && other.Contains(d)
+}
+
+// Facts returns every ground atom, ordered by predicate name and insertion
+// order within a predicate.
+func (d *Database) Facts() []ast.GroundAtom {
+	out := make([]ast.GroundAtom, 0, d.size)
+	for _, p := range d.Preds() {
+		r := d.rels[p]
+		for i := 0; i < r.Len(); i++ {
+			t := r.Tuple(i)
+			args := make([]ast.Const, len(t))
+			copy(args, t)
+			out = append(out, ast.GroundAtom{Pred: p, Args: args})
+		}
+	}
+	return out
+}
+
+// Consts returns the set of constants appearing in the database.
+func (d *Database) Consts() map[ast.Const]bool {
+	set := make(map[ast.Const]bool)
+	for _, r := range d.rels {
+		for i := 0; i < r.Len(); i++ {
+			for _, c := range r.Tuple(i) {
+				set[c] = true
+			}
+		}
+	}
+	return set
+}
+
+// MaxGeneratedIndexes returns the largest frozen-constant index and labeled-
+// null index occurring in the database, or -1 when none occurs; generators
+// for fresh constants are seeded past these.
+func (d *Database) MaxGeneratedIndexes() (maxFrozen, maxNull int) {
+	maxFrozen, maxNull = -1, -1
+	for _, r := range d.rels {
+		for i := 0; i < r.Len(); i++ {
+			for _, c := range r.Tuple(i) {
+				switch {
+				case ast.IsFrozen(c):
+					if idx := ast.FrozenIndex(c); idx > maxFrozen {
+						maxFrozen = idx
+					}
+				case ast.IsNull(c):
+					if idx := ast.NullIndex(c); idx > maxNull {
+						maxNull = idx
+					}
+				}
+			}
+		}
+	}
+	return maxFrozen, maxNull
+}
+
+// Format renders the database one fact per line, predicates sorted, using
+// tab for symbolic constants.
+func (d *Database) Format(tab *ast.SymbolTable) string {
+	var sb strings.Builder
+	for _, g := range d.Facts() {
+		sb.WriteString(g.Format(tab))
+		sb.WriteString(".\n")
+	}
+	return sb.String()
+}
+
+// String renders the database without a symbol table.
+func (d *Database) String() string { return d.Format(nil) }
+
+// Summary describes a database's shape: per-predicate cardinalities plus
+// totals, for diagnostics and the REPL's :stats command.
+type Summary struct {
+	// Predicates maps each predicate to its tuple count.
+	Predicates map[string]int
+	// Facts is the total fact count.
+	Facts int
+	// Constants is the number of distinct constants.
+	Constants int
+}
+
+// Summarize computes the database's Summary.
+func (d *Database) Summarize() Summary {
+	s := Summary{Predicates: make(map[string]int), Facts: d.size}
+	for _, p := range d.Preds() {
+		s.Predicates[p] = d.rels[p].Len()
+	}
+	s.Constants = len(d.Consts())
+	return s
+}

@@ -1,0 +1,191 @@
+package db
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func ga(pred string, args ...int64) ast.GroundAtom {
+	cs := make([]ast.Const, len(args))
+	for i, a := range args {
+		cs[i] = ast.Int(a)
+	}
+	return ast.GroundAtom{Pred: pred, Args: cs}
+}
+
+// example2EDB is the EDB of Example 2: {A(1,2), A(1,4), A(4,1)}.
+func example2EDB() *Database {
+	return FromFacts([]ast.GroundAtom{ga("A", 1, 2), ga("A", 1, 4), ga("A", 4, 1)})
+}
+
+func TestAddHasLen(t *testing.T) {
+	d := New()
+	if !d.Add(ga("A", 1, 2)) {
+		t.Fatal("first Add returned false")
+	}
+	if d.Add(ga("A", 1, 2)) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !d.Has(ga("A", 1, 2)) || d.Has(ga("A", 2, 1)) {
+		t.Fatal("Has wrong")
+	}
+	if d.Has(ga("B", 1, 2)) {
+		t.Fatal("Has on absent predicate")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestFactsSorted(t *testing.T) {
+	d := New()
+	d.Add(ga("B", 7))
+	d.Add(ga("A", 1, 2))
+	d.Add(ga("A", 3, 4))
+	got := d.Facts()
+	want := []ast.GroundAtom{ga("A", 1, 2), ga("A", 3, 4), ga("B", 7)}
+	if len(got) != len(want) {
+		t.Fatalf("Facts = %v", got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("Facts[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !reflect.DeepEqual(d.Preds(), []string{"A", "B"}) {
+		t.Fatalf("Preds = %v", d.Preds())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := example2EDB()
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(ga("A", 9, 9))
+	if d.Has(ga("A", 9, 9)) {
+		t.Fatal("clone shares storage")
+	}
+	if d.Equal(c) {
+		t.Fatal("Equal after divergence")
+	}
+}
+
+func TestContainsAndAddAll(t *testing.T) {
+	d := example2EDB()
+	e := FromFacts([]ast.GroundAtom{ga("A", 1, 2)})
+	if !d.Contains(e) || e.Contains(d) {
+		t.Fatal("Contains wrong")
+	}
+	added := e.AddAll(d)
+	if added != 2 || !e.Equal(d) {
+		t.Fatalf("AddAll added %d, equal=%v", added, e.Equal(d))
+	}
+}
+
+func TestRounds(t *testing.T) {
+	d := New()
+	d.Add(ga("A", 1, 1)) // round 0
+	r1 := d.BeginRound()
+	if r1 != 1 {
+		t.Fatalf("BeginRound = %d", r1)
+	}
+	d.Add(ga("A", 2, 2)) // round 1
+	rel := d.Relation("A")
+	if rel.RoundOf(0) != 0 || rel.RoundOf(1) != 1 {
+		t.Fatalf("round stamps: %d %d", rel.RoundOf(0), rel.RoundOf(1))
+	}
+	// Clone preserves stamps.
+	c := d.Clone()
+	if c.Relation("A").RoundOf(1) != 1 || c.Round() != 1 {
+		t.Fatal("clone lost round stamps")
+	}
+}
+
+func TestConstsAndMaxGenerated(t *testing.T) {
+	d := New()
+	d.Add(ast.GroundAtom{Pred: "A", Args: []ast.Const{ast.Int(3), ast.FrozenConst(7)}})
+	d.Add(ast.GroundAtom{Pred: "B", Args: []ast.Const{ast.NullConst(2)}})
+	set := d.Consts()
+	if len(set) != 3 {
+		t.Fatalf("Consts = %v", set)
+	}
+	mf, mn := d.MaxGeneratedIndexes()
+	if mf != 7 || mn != 2 {
+		t.Fatalf("MaxGeneratedIndexes = %d, %d", mf, mn)
+	}
+	empty := New()
+	mf, mn = empty.MaxGeneratedIndexes()
+	if mf != -1 || mn != -1 {
+		t.Fatalf("MaxGeneratedIndexes on empty = %d, %d", mf, mn)
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	d := New()
+	d.Add(ga("A", 1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	d.Add(ga("A", 1))
+}
+
+func TestFormat(t *testing.T) {
+	d := New()
+	d.Add(ga("A", 1, 2))
+	d.Add(ga("G", 4))
+	want := "A(1, 2).\nG(4).\n"
+	if got := d.String(); got != want {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRelationMatchIDs(t *testing.T) {
+	d := New()
+	d.Add(ga("A", 1, 2))
+	d.Add(ga("A", 1, 3))
+	d.Add(ga("A", 2, 3))
+	rel := d.Relation("A")
+
+	ids := rel.MatchIDs([]int{0}, []ast.Const{ast.Int(1)})
+	if len(ids) != 2 {
+		t.Fatalf("MatchIDs col0=1: %v", ids)
+	}
+	ids = rel.MatchIDs([]int{1}, []ast.Const{ast.Int(3)})
+	if len(ids) != 2 {
+		t.Fatalf("MatchIDs col1=3: %v", ids)
+	}
+	ids = rel.MatchIDs([]int{0, 1}, []ast.Const{ast.Int(2), ast.Int(3)})
+	if len(ids) != 1 {
+		t.Fatalf("MatchIDs both: %v", ids)
+	}
+	// Index extends incrementally as the relation grows.
+	d.Add(ga("A", 1, 9))
+	ids = rel.MatchIDs([]int{0}, []ast.Const{ast.Int(1)})
+	if len(ids) != 3 {
+		t.Fatalf("MatchIDs after growth: %v", ids)
+	}
+	// Empty column set means "scan".
+	if got := rel.MatchIDs(nil, nil); got != nil {
+		t.Fatalf("MatchIDs(nil) = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := New()
+	d.Add(ga("A", 1, 2))
+	d.Add(ga("A", 2, 3))
+	d.Add(ga("B", 1))
+	s := d.Summarize()
+	if s.Facts != 3 || s.Predicates["A"] != 2 || s.Predicates["B"] != 1 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Constants != 3 {
+		t.Fatalf("Constants = %d", s.Constants)
+	}
+}

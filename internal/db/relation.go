@@ -1,0 +1,160 @@
+package db
+
+import (
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// Relation stores the tuples of one predicate. Tuples are kept in insertion
+// order, deduplicated through a hash map, stamped with the round they were
+// inserted in, and indexed lazily by bound-column masks for join lookups.
+type Relation struct {
+	arity   int
+	tuples  [][]ast.Const
+	rounds  []int32
+	byKey   map[string]int32
+	indexes map[uint64]*colIndex
+	// mu guards lazy index construction so that concurrent READERS (the
+	// parallel evaluation phase never mutates tuples while reading) can
+	// share index building. Mutation of the relation itself is not
+	// concurrency-safe.
+	mu sync.Mutex
+}
+
+// colIndex is a hash index from the encoded values of a fixed set of columns
+// to the ids of tuples carrying those values. built records how many tuples
+// have been incorporated, so the index can be extended incrementally as the
+// relation grows.
+type colIndex struct {
+	cols  []int
+	m     map[string][]int32
+	built int
+}
+
+func newRelation(arity int) *Relation {
+	return &Relation{
+		arity:   arity,
+		byKey:   make(map[string]int32),
+		indexes: make(map[uint64]*colIndex),
+	}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple. The returned slice is owned by the relation
+// and must not be modified.
+func (r *Relation) Tuple(i int) []ast.Const { return r.tuples[i] }
+
+// RoundOf returns the round stamp of the i-th tuple.
+func (r *Relation) RoundOf(i int) int32 { return r.rounds[i] }
+
+func (r *Relation) insert(args []ast.Const, round int32) bool {
+	if len(args) != r.arity {
+		panic("db: tuple arity mismatch")
+	}
+	key := encodeKey(args)
+	if _, ok := r.byKey[key]; ok {
+		return false
+	}
+	t := make([]ast.Const, len(args))
+	copy(t, args)
+	id := int32(len(r.tuples))
+	r.tuples = append(r.tuples, t)
+	r.rounds = append(r.rounds, round)
+	r.byKey[key] = id
+	return true
+}
+
+func (r *Relation) clone() *Relation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := newRelation(r.arity)
+	c.tuples = make([][]ast.Const, len(r.tuples))
+	for i, t := range r.tuples {
+		tt := make([]ast.Const, len(t))
+		copy(tt, t)
+		c.tuples[i] = tt
+	}
+	c.rounds = make([]int32, len(r.rounds))
+	copy(c.rounds, r.rounds)
+	for k, v := range r.byKey {
+		c.byKey[k] = v
+	}
+	return c
+}
+
+// colMask packs a sorted column set into a bitmask identifying an index.
+func colMask(cols []int) uint64 {
+	var mask uint64
+	for _, c := range cols {
+		mask |= 1 << uint(c)
+	}
+	return mask
+}
+
+// MatchIDs returns the ids of tuples whose value at each position cols[i]
+// equals key[i]. cols must be sorted and contain no duplicates. With empty
+// cols it returns nil and the caller should scan all tuples (ScanAll). The
+// lookup builds (or extends) a hash index on the column set on first use.
+func (r *Relation) MatchIDs(cols []int, key []ast.Const) []int32 {
+	if len(cols) == 0 {
+		return nil
+	}
+	mask := colMask(cols)
+	r.mu.Lock()
+	idx, ok := r.indexes[mask]
+	if !ok {
+		cc := make([]int, len(cols))
+		copy(cc, cols)
+		idx = &colIndex{cols: cc, m: make(map[string][]int32)}
+		r.indexes[mask] = idx
+	}
+	// Extend the index over tuples inserted since the last use.
+	for ; idx.built < len(r.tuples); idx.built++ {
+		t := r.tuples[idx.built]
+		k := encodeProjection(t, idx.cols)
+		idx.m[k] = append(idx.m[k], int32(idx.built))
+	}
+	ids := idx.m[encodeProjection2(key)]
+	r.mu.Unlock()
+	return ids
+}
+
+// encodeProjection encodes the values of the given columns of a tuple.
+func encodeProjection(t []ast.Const, cols []int) string {
+	buf := make([]byte, 0, 8*len(cols))
+	for _, c := range cols {
+		buf = appendConst(buf, t[c])
+	}
+	return string(buf)
+}
+
+// encodeProjection2 encodes an already-projected key.
+func encodeProjection2(key []ast.Const) string {
+	buf := make([]byte, 0, 8*len(key))
+	for _, v := range key {
+		buf = appendConst(buf, v)
+	}
+	return string(buf)
+}
+
+// encodeKey encodes a whole tuple for the dedup map.
+func encodeKey(args []ast.Const) string {
+	buf := make([]byte, 0, 8*len(args))
+	for _, v := range args {
+		buf = appendConst(buf, v)
+	}
+	return string(buf)
+}
+
+func appendConst(buf []byte, c ast.Const) []byte {
+	v := uint64(c)
+	return append(buf,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

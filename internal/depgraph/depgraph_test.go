@@ -1,0 +1,188 @@
+package depgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func tc() *ast.Program {
+	return ast.NewProgram(
+		ast.NewRule(ast.NewAtom("G", ast.Var("x"), ast.Var("z")),
+			ast.NewAtom("A", ast.Var("x"), ast.Var("z"))),
+		ast.NewRule(ast.NewAtom("G", ast.Var("x"), ast.Var("z")),
+			ast.NewAtom("G", ast.Var("x"), ast.Var("y")),
+			ast.NewAtom("G", ast.Var("y"), ast.Var("z"))),
+	)
+}
+
+func TestEdges(t *testing.T) {
+	g := Build(tc())
+	if !g.HasEdge("A", "G") {
+		t.Fatal("missing edge A->G")
+	}
+	if !g.HasEdge("G", "G") {
+		t.Fatal("missing self edge G->G")
+	}
+	if g.HasEdge("G", "A") {
+		t.Fatal("phantom edge G->A")
+	}
+	if g.HasEdge("Z", "G") || g.HasEdge("A", "Z") {
+		t.Fatal("edge involving unknown predicate")
+	}
+}
+
+func TestRecursive(t *testing.T) {
+	p := tc()
+	if !IsRecursive(p) {
+		t.Fatal("TC not recursive")
+	}
+	rec := Build(p).RecursivePreds()
+	if !rec["G"] || rec["A"] {
+		t.Fatalf("RecursivePreds = %v", rec)
+	}
+
+	nonrec := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("G", ast.Var("x"), ast.Var("z")),
+			ast.NewAtom("A", ast.Var("x"), ast.Var("z"))),
+	)
+	if IsRecursive(nonrec) {
+		t.Fatal("non-recursive program reported recursive")
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// P :- Q, Q :- P: both recursive although neither has a self-loop.
+	p := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("P", ast.Var("x")), ast.NewAtom("Q", ast.Var("x"))),
+		ast.NewRule(ast.NewAtom("Q", ast.Var("x")), ast.NewAtom("P", ast.Var("x"))),
+	)
+	rec := Build(p).RecursivePreds()
+	if !rec["P"] || !rec["Q"] {
+		t.Fatalf("RecursivePreds = %v", rec)
+	}
+	sccs := Build(p).SCCs()
+	found := false
+	for _, c := range sccs {
+		if reflect.DeepEqual(c, []string{"P", "Q"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SCCs = %v", sccs)
+	}
+}
+
+func TestRecursiveRuleIndexes(t *testing.T) {
+	p := tc()
+	if got := RecursiveRuleIndexes(p); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("RecursiveRuleIndexes = %v", got)
+	}
+	// Intentional but non-recursive predicate: rule through a recursive one
+	// is not itself recursive unless head is on the cycle.
+	p2 := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("G", ast.Var("x"), ast.Var("z")),
+			ast.NewAtom("A", ast.Var("x"), ast.Var("z"))),
+		ast.NewRule(ast.NewAtom("G", ast.Var("x"), ast.Var("z")),
+			ast.NewAtom("G", ast.Var("x"), ast.Var("y")),
+			ast.NewAtom("A", ast.Var("y"), ast.Var("z"))),
+		ast.NewRule(ast.NewAtom("Top", ast.Var("x")),
+			ast.NewAtom("G", ast.Var("x"), ast.Var("x"))),
+	)
+	if got := RecursiveRuleIndexes(p2); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("RecursiveRuleIndexes = %v", got)
+	}
+}
+
+func TestIsLinear(t *testing.T) {
+	// TC with G(x,y),G(y,z) is not linear; with A(x,y),G(y,z) it is.
+	if IsLinear(tc()) {
+		t.Fatal("doubled TC reported linear")
+	}
+	linear := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("G", ast.Var("x"), ast.Var("z")),
+			ast.NewAtom("A", ast.Var("x"), ast.Var("z"))),
+		ast.NewRule(ast.NewAtom("G", ast.Var("x"), ast.Var("z")),
+			ast.NewAtom("A", ast.Var("x"), ast.Var("y")),
+			ast.NewAtom("G", ast.Var("y"), ast.Var("z"))),
+	)
+	if !IsLinear(linear) {
+		t.Fatal("linear TC reported non-linear")
+	}
+}
+
+func TestStrataPositiveOnly(t *testing.T) {
+	strata, err := Strata(tc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything can live in one stratum for a purely positive program.
+	total := 0
+	for _, s := range strata {
+		total += len(s)
+	}
+	if total != 2 {
+		t.Fatalf("strata = %v", strata)
+	}
+}
+
+func TestStrataWithNegation(t *testing.T) {
+	// Reach(x) :- Src(x). Reach(y) :- Reach(x), E(x,y).
+	// Unreach(x) :- Node(x), !Reach(x).
+	p := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("Reach", ast.Var("x")), ast.NewAtom("Src", ast.Var("x"))),
+		ast.NewRule(ast.NewAtom("Reach", ast.Var("y")),
+			ast.NewAtom("Reach", ast.Var("x")), ast.NewAtom("E", ast.Var("x"), ast.Var("y"))),
+		ast.Rule{
+			Head:    ast.NewAtom("Unreach", ast.Var("x")),
+			Body:    []ast.Atom{ast.NewAtom("Node", ast.Var("x"))},
+			NegBody: []ast.Atom{ast.NewAtom("Reach", ast.Var("x"))},
+		},
+	)
+	strata, err := Strata(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stratumOf := map[string]int{}
+	for i, s := range strata {
+		for _, pred := range s {
+			stratumOf[pred] = i
+		}
+	}
+	if stratumOf["Unreach"] <= stratumOf["Reach"] {
+		t.Fatalf("Unreach stratum %d not above Reach stratum %d", stratumOf["Unreach"], stratumOf["Reach"])
+	}
+}
+
+func TestStrataUnstratifiable(t *testing.T) {
+	// P(x) :- A(x), !Q(x). Q(x) :- A(x), !P(x). Negation through recursion.
+	p := ast.NewProgram(
+		ast.Rule{
+			Head:    ast.NewAtom("P", ast.Var("x")),
+			Body:    []ast.Atom{ast.NewAtom("A", ast.Var("x"))},
+			NegBody: []ast.Atom{ast.NewAtom("Q", ast.Var("x"))},
+		},
+		ast.Rule{
+			Head:    ast.NewAtom("Q", ast.Var("x")),
+			Body:    []ast.Atom{ast.NewAtom("A", ast.Var("x"))},
+			NegBody: []ast.Atom{ast.NewAtom("P", ast.Var("x"))},
+		},
+	)
+	if _, err := Strata(p); err == nil {
+		t.Fatal("unstratifiable program accepted")
+	}
+}
+
+func TestPredsAndSCCsDeterministic(t *testing.T) {
+	g := Build(tc())
+	preds := g.Preds()
+	if len(preds) != 2 {
+		t.Fatalf("Preds = %v", preds)
+	}
+	a := Build(tc()).SCCs()
+	b := Build(tc()).SCCs()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SCCs not deterministic")
+	}
+}

@@ -1,0 +1,69 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/explain"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func TestDependenceGraphShape(t *testing.T) {
+	p := workload.TransitiveClosure()
+	s := DependenceGraph(p)
+	for _, want := range []string{
+		"digraph dependence",
+		`"A" [shape=box]`,     // extensional
+		`fillcolor=lightgray`, // recursive G shaded
+		`"A" -> "G";`,         // init edge
+		`"G" -> "G";`,         // recursive edge
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Duplicate edges collapse: the doubled G body contributes one edge.
+	if strings.Count(s, `"G" -> "G"`) != 1 {
+		t.Errorf("duplicate edges:\n%s", s)
+	}
+}
+
+func TestDependenceGraphNegation(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Reach(x) :- Src(x).
+		Unreach(x) :- Node(x), !Reach(x).
+	`)
+	s := DependenceGraph(p)
+	if !strings.Contains(s, "style=dashed") {
+		t.Errorf("negative edge not dashed:\n%s", s)
+	}
+}
+
+func TestDerivationTree(t *testing.T) {
+	p := workload.TransitiveClosure()
+	in := workload.Chain("A", 3)
+	pr, err := explain.NewProver(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := pr.Explain(ast.GroundAtom{Pred: "G", Args: []ast.Const{ast.Int(0), ast.Int(3)}})
+	if !ok {
+		t.Fatal("G(0,3) missing")
+	}
+	s := DerivationTree(d, nil)
+	if !strings.Contains(s, "digraph derivation") || !strings.Contains(s, "shape=box") {
+		t.Errorf("derivation DOT malformed:\n%s", s)
+	}
+	// Node count equals tree size.
+	if got := strings.Count(s, "label="); got < d.Size() {
+		t.Errorf("%d labels for %d nodes:\n%s", got, d.Size(), s)
+	}
+}
+
+func TestQuoteEscaping(t *testing.T) {
+	if got := quote(`a"b`); got != `"a\"b"` {
+		t.Fatalf("quote = %s", got)
+	}
+}

@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+)
+
+// The compiled evaluator lowers a rule to integer variable slots before the
+// fixpoint loops run: variables become indexes into a flat []Const frame,
+// atoms become (predicate, slot-or-constant) patterns, and the nested-loops
+// join walks relation ids directly. It computes exactly what the generic
+// path (db.MatchSeq over ast.Binding) computes — a cross-check property
+// test and the NoCompile ablation keep it honest — while avoiding map
+// lookups and per-candidate atom re-verification in the hot loop.
+
+// unset marks an unbound slot in a frame. It lies outside every constant
+// range (integers, symbols, frozen constants, nulls are all > math.MinInt64).
+const unset = ast.Const(math.MinInt64)
+
+// compiledAtom is an atom over variable slots: args[i] ≥ 0 is a slot index,
+// args[i] < 0 means constant consts[i].
+type compiledAtom struct {
+	pred   string
+	args   []int
+	consts []ast.Const
+}
+
+// compiledRule is a rule lowered to slots, body in evaluation order.
+type compiledRule struct {
+	nVars int
+	head  compiledAtom
+	body  []compiledAtom
+	neg   []compiledAtom
+}
+
+// compileRule lowers r (whose body is already in the desired evaluation
+// order) into slot form.
+func compileRule(r ast.Rule) *compiledRule {
+	slots := map[string]int{}
+	slotOf := func(v string) int {
+		if i, ok := slots[v]; ok {
+			return i
+		}
+		i := len(slots)
+		slots[v] = i
+		return i
+	}
+	lower := func(a ast.Atom) compiledAtom {
+		ca := compiledAtom{
+			pred:   a.Pred,
+			args:   make([]int, len(a.Args)),
+			consts: make([]ast.Const, len(a.Args)),
+		}
+		for i, t := range a.Args {
+			if t.IsVar {
+				ca.args[i] = slotOf(t.Name)
+			} else {
+				ca.args[i] = -1
+				ca.consts[i] = t.Val
+			}
+		}
+		return ca
+	}
+	cr := &compiledRule{}
+	// Body first so every head variable is already slotted (range
+	// restriction guarantees it appears there).
+	for _, a := range r.Body {
+		cr.body = append(cr.body, lower(a))
+	}
+	for _, a := range r.NegBody {
+		cr.neg = append(cr.neg, lower(a))
+	}
+	cr.head = lower(r.Head)
+	cr.nVars = len(slots)
+	return cr
+}
+
+// frame is the reusable evaluation state for one compiled rule.
+type frame struct {
+	vals []ast.Const
+	// scratch buffers for index lookups and head grounding.
+	cols []int
+	key  []ast.Const
+	out  []ast.Const
+}
+
+func newFrame(cr *compiledRule) *frame {
+	maxArity := len(cr.head.args)
+	for _, a := range cr.body {
+		if len(a.args) > maxArity {
+			maxArity = len(a.args)
+		}
+	}
+	return &frame{
+		vals: make([]ast.Const, cr.nVars),
+		cols: make([]int, 0, maxArity),
+		key:  make([]ast.Const, 0, maxArity),
+		out:  make([]ast.Const, maxArity),
+	}
+}
+
+// fire evaluates the rule against d with per-position round windows,
+// passing each successful head instantiation to emit (which reports
+// whether the fact was new). It mirrors fireConstraints; the emit
+// indirection lets the parallel evaluator collect derivations into local
+// buffers instead of inserting immediately.
+func (cr *compiledRule) fire(d *db.Database, windows []db.RoundWindow, stats *Stats, emit func(pred string, args []ast.Const) bool) {
+	f := newFrame(cr)
+	for i := range f.vals {
+		f.vals[i] = unset
+	}
+	cr.join(d, windows, 0, f, stats, emit)
+}
+
+func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, f *frame, stats *Stats, emit func(string, []ast.Const) bool) {
+	if pos == len(cr.body) {
+		// Negated literals: all slots bound by safety.
+		for _, n := range cr.neg {
+			args := f.out[:len(n.args)]
+			for i, s := range n.args {
+				if s < 0 {
+					args[i] = n.consts[i]
+				} else {
+					args[i] = f.vals[s]
+				}
+			}
+			if d.HasTuple(n.pred, args) {
+				return
+			}
+		}
+		stats.Firings++
+		args := f.out[:len(cr.head.args)]
+		for i, s := range cr.head.args {
+			if s < 0 {
+				args[i] = cr.head.consts[i]
+			} else {
+				args[i] = f.vals[s]
+			}
+		}
+		if emit(cr.head.pred, args) {
+			stats.Added++
+		}
+		return
+	}
+
+	a := cr.body[pos]
+	rel := d.Relation(a.pred)
+	if rel == nil || rel.Arity() != len(a.args) {
+		return
+	}
+	w := windows[pos]
+
+	// Collect bound columns (constants and already-bound slots). The
+	// shared scratch is only used up to the MatchIDs call below, so deeper
+	// recursion levels may freely reuse it.
+	f.cols = f.cols[:0]
+	f.key = f.key[:0]
+	for i, s := range a.args {
+		if s < 0 {
+			f.cols = append(f.cols, i)
+			f.key = append(f.key, a.consts[i])
+		} else if f.vals[s] != unset {
+			f.cols = append(f.cols, i)
+			f.key = append(f.key, f.vals[s])
+		}
+	}
+
+	// Candidate ids: indexed lookup when anything is bound, scan otherwise.
+	var ids []int32
+	scanAll := len(f.cols) == 0
+	if !scanAll {
+		ids = rel.MatchIDs(f.cols, f.key)
+	}
+
+	try := func(id int32) {
+		if !w.Contains(rel.RoundOf(int(id))) {
+			return
+		}
+		tuple := rel.Tuple(int(id))
+		var boundArr [16]int
+		boundSlots := boundArr[:0]
+		ok := true
+		for i, s := range a.args {
+			if s < 0 {
+				if tuple[i] != a.consts[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			if v := f.vals[s]; v != unset {
+				if v != tuple[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			f.vals[s] = tuple[i]
+			boundSlots = append(boundSlots, s)
+		}
+		if ok {
+			cr.join(d, windows, pos+1, f, stats, emit)
+		}
+		for _, s := range boundSlots {
+			f.vals[s] = unset
+		}
+	}
+
+	if scanAll {
+		n := rel.Len()
+		for id := 0; id < n; id++ {
+			try(int32(id))
+		}
+		return
+	}
+	for _, id := range ids {
+		try(id)
+	}
+}

@@ -1,0 +1,494 @@
+// Package eval implements the bottom-up computation of Section III: given a
+// program P and an input DB (which, per the paper's uniform semantics, may
+// assign initial relations to intentional as well as extensional
+// predicates), repeatedly instantiate rules until no new ground atoms can be
+// produced. The package provides both the naive strategy the paper describes
+// and the standard semi-naive refinement (each derivation considered once),
+// plus the auxiliary operators the paper's procedures need: the
+// non-recursive application Pⁿ(d) of Section IX, the initialization program
+// Pⁱ and preliminary DB of Section X, and — for the Section XII extension —
+// stratified negation.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/depgraph"
+)
+
+// Strategy selects the fixpoint algorithm.
+type Strategy int
+
+const (
+	// SemiNaive derives each new fact from at least one last-round fact,
+	// avoiding rederivation; it is the default.
+	SemiNaive Strategy = iota
+	// Naive re-fires every rule against the whole DB each round, exactly as
+	// Section III describes the computation.
+	Naive
+)
+
+// ErrBudget is returned when evaluation exceeds Options.MaxDerived.
+var ErrBudget = errors.New("eval: derived-fact budget exhausted")
+
+// Options configures evaluation.
+type Options struct {
+	// Strategy selects naive or semi-naive fixpoint; the default is
+	// semi-naive.
+	Strategy Strategy
+	// NoReorder disables the greedy join-order heuristic and evaluates body
+	// atoms in source order; used by ablation benchmarks.
+	NoReorder bool
+	// NoSCCOrder disables the SCC-ordered schedule and runs all rules in a
+	// single fixpoint; used by ablation benchmarks.
+	NoSCCOrder bool
+	// NoCompile disables the slot-compiled rule evaluator and joins through
+	// the generic binding-map matcher; used by ablation benchmarks and the
+	// cross-check property test.
+	NoCompile bool
+	// Workers > 1 evaluates each round's rule variants concurrently,
+	// collecting derivations into per-variant buffers and merging them
+	// after the round (semi-naive windows never read the current round, so
+	// deferring insertion is observationally identical). Workers ≤ 1 is
+	// sequential.
+	Workers int
+	// MaxDerived bounds the number of new facts; 0 means unlimited. Pure
+	// Datalog always terminates, so the bound exists for callers that embed
+	// evaluation in potentially non-terminating chases.
+	MaxDerived int
+}
+
+// Stats reports work done by an evaluation.
+type Stats struct {
+	// Rounds is the number of fixpoint iterations (including the final empty
+	// one that detects convergence).
+	Rounds int
+	// Firings is the number of successful body instantiations, i.e. the
+	// joins' output size (including duplicates that derived a known fact).
+	Firings int
+	// Added is the number of new facts derived.
+	Added int
+}
+
+// Eval computes P(input): the least DB containing input and closed under the
+// rules of p (Section III). The input database is not modified; the returned
+// database contains the input, matching the paper's convention that "the
+// output of every program contains its input".
+func Eval(p *ast.Program, input *db.Database, opts Options) (*db.Database, Stats, error) {
+	var stats Stats
+	if err := p.Validate(); err != nil {
+		return nil, stats, err
+	}
+	d := input.Clone()
+	if !p.HasNegation() {
+		if opts.NoSCCOrder {
+			dyn := p.IDBPredicates()
+			if err := fixpoint(d, p.Rules, dyn, opts, &stats, input.Len()); err != nil {
+				return nil, stats, err
+			}
+			return d, stats, nil
+		}
+		// SCC-ordered schedule: evaluate the condensation of the dependence
+		// graph bottom-up, one fixpoint per group of mutually recursive
+		// predicates. Lower components are complete before higher ones run,
+		// so each fixpoint's delta machinery only tracks its own component's
+		// predicates — strictly less rederivation than one global fixpoint.
+		for _, group := range sccRuleGroups(p) {
+			dyn := make(map[string]bool)
+			var rules []ast.Rule
+			for _, ri := range group {
+				rules = append(rules, p.Rules[ri])
+				dyn[p.Rules[ri].Head.Pred] = true
+			}
+			if err := fixpoint(d, rules, dyn, opts, &stats, input.Len()); err != nil {
+				return nil, stats, err
+			}
+		}
+		return d, stats, nil
+	}
+
+	// Stratified negation: evaluate stratum by stratum; by stratification,
+	// a negated predicate is complete before any rule reading it runs.
+	strata, err := depgraph.Strata(p)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, stratum := range strata {
+		inStratum := make(map[string]bool, len(stratum))
+		for _, pred := range stratum {
+			inStratum[pred] = true
+		}
+		var rules []ast.Rule
+		dyn := make(map[string]bool)
+		for _, r := range p.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+				dyn[r.Head.Pred] = true
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		if err := fixpoint(d, rules, dyn, opts, &stats, input.Len()); err != nil {
+			return nil, stats, err
+		}
+	}
+	return d, stats, nil
+}
+
+// MustEval is Eval with default options, panicking on error; intended for
+// tests and examples where the program is known valid.
+func MustEval(p *ast.Program, input *db.Database) *db.Database {
+	out, _, err := Eval(p, input, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// sccRuleGroups partitions the rule indexes of p by the strongly connected
+// component of their head predicate, ordered so that a component's body
+// predicates belong to the same or an earlier group. Tarjan (as used by
+// depgraph.SCCs, with body→head edges) emits every consumer component
+// before its producers, so the producer-first evaluation order is the
+// REVERSE of the emission order.
+func sccRuleGroups(p *ast.Program) [][]int {
+	comps := depgraph.Build(p).SCCs()
+	compOf := make(map[string]int)
+	for i, comp := range comps {
+		for _, pred := range comp {
+			compOf[pred] = i
+		}
+	}
+	groups := make([][]int, len(comps))
+	for ri, r := range p.Rules {
+		c := compOf[r.Head.Pred]
+		groups[c] = append(groups[c], ri)
+	}
+	var out [][]int
+	for i := len(groups) - 1; i >= 0; i-- {
+		if len(groups[i]) > 0 {
+			out = append(out, groups[i])
+		}
+	}
+	return out
+}
+
+// fixpoint runs the chosen strategy over one set of rules whose heads are
+// the dynamic predicates, mutating d in place.
+func fixpoint(d *db.Database, rules []ast.Rule, dynamic map[string]bool, opts Options, stats *Stats, baseLen int) error {
+	// Prepare per-rule evaluation orders (and compiled forms) once.
+	ordered := make([]ast.Rule, len(rules))
+	compiled := make([]*compiledRule, len(rules))
+	sizeOf := func(pred string) int {
+		if rel := d.Relation(pred); rel != nil {
+			return rel.Len()
+		}
+		return 0
+	}
+	for i, r := range rules {
+		ordered[i] = r.Clone()
+		if !opts.NoReorder {
+			ordered[i].Body = db.OrderForJoinSized(r.Body, nil, sizeOf)
+		}
+		if !opts.NoCompile {
+			compiled[i] = compileRule(ordered[i])
+		}
+	}
+	// fireInto evaluates one variant with derivations routed to emit.
+	fireInto := func(idx int, windows []db.RoundWindow, st *Stats, emit func(string, []ast.Const) bool) error {
+		if compiled[idx] != nil {
+			compiled[idx].fire(d, windows, st, emit)
+			return nil
+		}
+		r := ordered[idx]
+		cs := make([]db.Constraint, len(r.Body))
+		for j, b := range r.Body {
+			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
+		}
+		return fireConstraints(d, r, cs, st, emit)
+	}
+
+	type variant struct {
+		idx     int
+		windows []db.RoundWindow
+	}
+	// runRound evaluates a round's variants, sequentially or in parallel.
+	runRound := func(variants []variant) error {
+		if opts.Workers <= 1 || len(variants) < 2 {
+			emit := func(pred string, args []ast.Const) bool { return d.AddTuple(pred, args) }
+			for _, v := range variants {
+				if err := fireInto(v.idx, v.windows, stats, emit); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		type pending struct {
+			pred string
+			args []ast.Const
+		}
+		buffers := make([][]pending, len(variants))
+		statsArr := make([]Stats, len(variants))
+		errs := make([]error, len(variants))
+		sem := make(chan struct{}, opts.Workers)
+		var wg sync.WaitGroup
+		for vi := range variants {
+			wg.Add(1)
+			go func(vi int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				v := variants[vi]
+				emit := func(pred string, args []ast.Const) bool {
+					if d.HasTuple(pred, args) {
+						return false
+					}
+					cp := make([]ast.Const, len(args))
+					copy(cp, args)
+					buffers[vi] = append(buffers[vi], pending{pred: pred, args: cp})
+					return true // tentatively new; merge dedups across variants
+				}
+				errs[vi] = fireInto(v.idx, v.windows, &statsArr[vi], emit)
+			}(vi)
+		}
+		wg.Wait()
+		for vi := range variants {
+			if errs[vi] != nil {
+				return errs[vi]
+			}
+			stats.Firings += statsArr[vi].Firings
+			for _, pf := range buffers[vi] {
+				if d.AddTuple(pf.pred, pf.args) {
+					stats.Added++
+				}
+			}
+		}
+		return nil
+	}
+
+	prevTop := d.Round() // facts present before this stratum: rounds ≤ prevTop
+	round := d.BeginRound()
+	stats.Rounds++
+
+	// First iteration: full application of every rule.
+	var firstRound []variant
+	for idx := range ordered {
+		firstRound = append(firstRound, variant{idx, fullWindows(len(ordered[idx].Body), prevTop)})
+	}
+	if err := runRound(firstRound); err != nil {
+		return err
+	}
+	if err := checkBudget(d, baseLen, opts); err != nil {
+		return err
+	}
+
+	for {
+		if !anyAddedIn(d, round) {
+			return nil
+		}
+		prev := round
+		round = d.BeginRound()
+		stats.Rounds++
+		var variants []variant
+		for idx := range ordered {
+			r := ordered[idx]
+			if opts.Strategy == Naive {
+				variants = append(variants, variant{idx, fullWindows(len(r.Body), prev)})
+				continue
+			}
+			// Semi-naive: one variant per dynamic body position i, with
+			// position i restricted to the last round's delta, earlier
+			// positions to strictly older facts, and later positions to
+			// anything up to the last round. Every new combination has a
+			// unique least delta position, so nothing is derived twice.
+			for i, a := range r.Body {
+				if !dynamic[a.Pred] {
+					continue
+				}
+				variants = append(variants, variant{idx, deltaWindows(len(r.Body), i, prev)})
+			}
+		}
+		if err := runRound(variants); err != nil {
+			return err
+		}
+		if err := checkBudget(d, baseLen, opts); err != nil {
+			return err
+		}
+	}
+}
+
+func checkBudget(d *db.Database, baseLen int, opts Options) error {
+	if opts.MaxDerived > 0 && d.Len()-baseLen > opts.MaxDerived {
+		return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
+	}
+	return nil
+}
+
+// fullWindows gives every body position the window [0, maxRound].
+func fullWindows(n int, maxRound int32) []db.RoundWindow {
+	ws := make([]db.RoundWindow, n)
+	for i := range ws {
+		ws[i] = db.RoundWindow{Min: 0, Max: maxRound}
+	}
+	return ws
+}
+
+// deltaWindows gives position i the last round's delta, earlier positions
+// strictly older facts, later positions anything up to the last round.
+func deltaWindows(n, i int, prev int32) []db.RoundWindow {
+	ws := make([]db.RoundWindow, n)
+	for j := range ws {
+		switch {
+		case j < i:
+			ws[j] = db.RoundWindow{Min: 0, Max: prev - 1}
+		case j == i:
+			ws[j] = db.RoundWindow{Min: prev, Max: prev}
+		default:
+			ws[j] = db.RoundWindow{Min: 0, Max: prev}
+		}
+	}
+	return ws
+}
+
+func fireConstraints(d *db.Database, r ast.Rule, cs []db.Constraint, stats *Stats, emit func(string, []ast.Const) bool) error {
+	b := ast.Binding{}
+	var firingErr error
+	db.MatchSeq(d, cs, b, func() bool {
+		// Stratified negation: every variable of a negated atom is bound by
+		// safety, so the check is a simple absence test against the
+		// already-complete lower strata.
+		for _, n := range r.NegBody {
+			g, err := n.Ground(b)
+			if err != nil {
+				firingErr = err
+				return false
+			}
+			if d.Has(g) {
+				return true
+			}
+		}
+		stats.Firings++
+		h, err := r.Head.Ground(b)
+		if err != nil {
+			firingErr = err
+			return false
+		}
+		if emit(h.Pred, h.Args) {
+			stats.Added++
+		}
+		return true
+	})
+	return firingErr
+}
+
+// anyAddedIn reports whether any fact carries the given round stamp.
+func anyAddedIn(d *db.Database, round int32) bool {
+	for _, p := range d.Preds() {
+		r := d.Relation(p)
+		for i := r.Len() - 1; i >= 0; i-- {
+			if r.RoundOf(i) == round {
+				return true
+			}
+			if r.RoundOf(i) < round {
+				break // stamps are non-decreasing with insertion order
+			}
+		}
+	}
+	return false
+}
+
+// NonRecursive computes Pⁿ(d) as defined in Section IX: the set of head
+// instantiations h·θ such that the body of some rule grounds into d. The
+// result does not include d itself (the paper's convention for Pⁿ), and no
+// derived fact feeds back into another derivation. Negated body atoms (the
+// stratified extension) are checked against d.
+func NonRecursive(p *ast.Program, d *db.Database) *db.Database {
+	out := db.New()
+	for _, r := range p.Rules {
+		cs := make([]db.Constraint, len(r.Body))
+		for i, a := range db.OrderForJoin(r.Body, nil) {
+			cs[i] = db.Constraint{Atom: a, Window: db.AllRounds}
+		}
+		b := ast.Binding{}
+		neg := r.NegBody
+		head := r.Head
+		db.MatchSeq(d, cs, b, func() bool {
+			for _, n := range neg {
+				if d.Has(n.MustGround(b)) {
+					return true
+				}
+			}
+			out.Add(head.MustGround(b))
+			return true
+		})
+	}
+	return out
+}
+
+// PreliminaryDB computes the preliminary DB of Section X for an EDB d: the
+// union of d with Pⁱ(d), where Pⁱ consists of the initialization rules of p
+// (rules whose bodies mention only extensional predicates). Pⁱ is
+// non-recursive, so a single non-recursive application reaches its fixpoint.
+func PreliminaryDB(p *ast.Program, edb *db.Database) *db.Database {
+	out := edb.Clone()
+	out.BeginRound()
+	out.AddAll(NonRecursive(p.InitRules(), edb))
+	return out
+}
+
+// IsModel reports whether d is a model of p (Section IV): applying p to d
+// generates no ground atom outside d. For rules with negation the check uses
+// the same stratified reading as Eval.
+func IsModel(p *ast.Program, d *db.Database) bool {
+	counterexample := false
+	for _, r := range p.Rules {
+		cs := make([]db.Constraint, len(r.Body))
+		for i, a := range db.OrderForJoin(r.Body, nil) {
+			cs[i] = db.Constraint{Atom: a, Window: db.AllRounds}
+		}
+		b := ast.Binding{}
+		neg := r.NegBody
+		head := r.Head
+		db.MatchSeq(d, cs, b, func() bool {
+			for _, n := range neg {
+				if d.Has(n.MustGround(b)) {
+					return true
+				}
+			}
+			if !d.Has(head.MustGround(b)) {
+				counterexample = true
+				return false
+			}
+			return true
+		})
+		if counterexample {
+			return false
+		}
+	}
+	return true
+}
+
+// Query evaluates p on input and returns the tuples of the result matching
+// the query atom's pattern (constants filter; variables project). Tuples are
+// returned in the result database's deterministic fact order.
+func Query(p *ast.Program, input *db.Database, query ast.Atom, opts Options) ([][]ast.Const, error) {
+	out, _, err := Eval(p, input, opts)
+	if err != nil {
+		return nil, err
+	}
+	var tuples [][]ast.Const
+	b := ast.Binding{}
+	db.MatchAtom(out, query, db.AllRounds, b, func() bool {
+		g := query.MustGround(b)
+		t := make([]ast.Const, len(g.Args))
+		copy(t, g.Args)
+		tuples = append(tuples, t)
+		return true
+	})
+	return tuples, nil
+}

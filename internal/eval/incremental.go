@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+)
+
+// Incremental maintains a previously computed output under fact insertion:
+// given out = P(d) (as returned by Eval, with its round stamps intact) and
+// a batch of new facts, it computes P(d ∪ newFacts) by running the
+// semi-naive delta propagation from the inserted facts only, instead of
+// re-evaluating from scratch. Datalog is monotonic, so insertion-only
+// maintenance is exact.
+//
+// The input database is not modified; the updated output is returned.
+// Programs with negation are rejected: an insertion into a lower stratum
+// can retract facts of a higher one, and the previous output does not
+// remember which of its facts were inputs — callers must re-evaluate from
+// their original input instead.
+func Incremental(p *ast.Program, out *db.Database, newFacts []ast.GroundAtom, opts Options) (*db.Database, Stats, error) {
+	var stats Stats
+	if err := p.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if p.HasNegation() {
+		return nil, stats, fmt.Errorf("eval: incremental maintenance requires a pure Datalog program; negation can retract derived facts, so re-evaluate from the original input")
+	}
+
+	cur := out.Clone()
+	// Stamp the inserted facts as a fresh delta round.
+	cur.BeginRound()
+	added := 0
+	for _, f := range newFacts {
+		if cur.Add(f) {
+			added++
+		}
+	}
+	if added == 0 {
+		return cur, stats, nil
+	}
+	if err := deltaLoop(cur, p.Rules, opts, &stats); err != nil {
+		return nil, stats, err
+	}
+	return cur, stats, nil
+}
+
+// deltaLoop runs semi-naive propagation assuming the latest round already
+// holds a delta (unlike fixpoint, which begins with a full application).
+// Because the pre-existing database is closed under the rules, every new
+// derivation must use at least one delta fact, so delta rules alone are
+// complete.
+func deltaLoop(d *db.Database, rules []ast.Rule, opts Options, stats *Stats) error {
+	ordered := make([]ast.Rule, len(rules))
+	compiled := make([]*compiledRule, len(rules))
+	for i, r := range rules {
+		ordered[i] = r.Clone()
+		if !opts.NoReorder {
+			ordered[i].Body = db.OrderForJoin(r.Body, nil)
+		}
+		if !opts.NoCompile {
+			compiled[i] = compileRule(ordered[i])
+		}
+	}
+	emit := func(pred string, args []ast.Const) bool { return d.AddTuple(pred, args) }
+	fire := func(idx int, windows []db.RoundWindow) error {
+		if compiled[idx] != nil {
+			compiled[idx].fire(d, windows, stats, emit)
+			return nil
+		}
+		r := ordered[idx]
+		cs := make([]db.Constraint, len(r.Body))
+		for j, b := range r.Body {
+			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
+		}
+		return fireConstraints(d, r, cs, stats, emit)
+	}
+	baseLen := d.Len()
+	for {
+		prev := d.Round()
+		round := d.BeginRound()
+		stats.Rounds++
+		for idx := range ordered {
+			// Any atom can match an inserted fact (insertions may be
+			// extensional), so the delta position ranges over the whole
+			// body here rather than only the intentional positions.
+			for i := range ordered[idx].Body {
+				if err := fire(idx, deltaWindows(len(ordered[idx].Body), i, prev)); err != nil {
+					return err
+				}
+			}
+		}
+		if opts.MaxDerived > 0 && d.Len()-baseLen > opts.MaxDerived {
+			return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
+		}
+		if !anyAddedIn(d, round) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func TestIncrementalEqualsFullReEval(t *testing.T) {
+	p := workload.TransitiveClosure()
+	base := workload.Chain("A", 10)
+	out, _, err := Eval(p, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a back edge closing the chain into a cycle.
+	newFacts := []ast.GroundAtom{ga("A", 10, 0)}
+	inc, incStats, err := Incremental(p, out, newFacts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base.Clone()
+	for _, f := range newFacts {
+		full.Add(f)
+	}
+	want := MustEval(p, full)
+	if !inc.Equal(want) {
+		t.Fatalf("incremental %d facts, full %d facts", inc.Len(), want.Len())
+	}
+	if incStats.Added == 0 {
+		t.Fatal("no incremental derivations recorded")
+	}
+}
+
+func TestIncrementalNoOp(t *testing.T) {
+	p := workload.TransitiveClosure()
+	out := MustEval(p, workload.Chain("A", 5))
+	// Re-inserting existing facts derives nothing.
+	inc, stats, err := Incremental(p, out, []ast.GroundAtom{ga("A", 0, 1)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Equal(out) || stats.Added != 0 {
+		t.Fatalf("no-op insertion changed the DB: %+v", stats)
+	}
+}
+
+func TestIncrementalCheaperThanReEval(t *testing.T) {
+	p := workload.TransitiveClosure()
+	base := workload.Chain("A", 40)
+	out, _, err := Eval(p, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFacts := []ast.GroundAtom{ga("A", 100, 101)} // disconnected edge
+	_, incStats, err := Incremental(p, out, newFacts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base.Clone()
+	full.Add(newFacts[0])
+	_, fullStats, err := Eval(p, full, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incStats.Firings >= fullStats.Firings {
+		t.Fatalf("incremental fired %d >= full %d", incStats.Firings, fullStats.Firings)
+	}
+}
+
+func TestQuickIncrementalAgreesWithFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomProgram(rng, 1+rng.Intn(4))
+		if p.Validate() != nil {
+			return true
+		}
+		base := workload.RandomDB(rng, p, 4, 3)
+		out, _, err := Eval(p, base, Options{})
+		if err != nil {
+			return false
+		}
+		extra := workload.RandomDB(rng, p, 4, 2)
+		inc, _, err := Incremental(p, out, extra.Facts(), Options{})
+		if err != nil {
+			return false
+		}
+		full := base.Clone()
+		full.AddAll(extra)
+		want, _, err := Eval(p, full, Options{})
+		if err != nil {
+			return false
+		}
+		return inc.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalRejectsNegation(t *testing.T) {
+	// Inserting E(1,2) would have to retract Unreach(2); since the previous
+	// output cannot distinguish inputs from derivations, Incremental must
+	// refuse rather than silently keep the stale fact.
+	p := parser.MustParseProgram(`
+		Reach(x) :- Src(x).
+		Reach(y) :- Reach(x), E(x, y).
+		Unreach(x) :- Node(x), !Reach(x).
+	`)
+	base := ast.GroundAtom{Pred: "Src", Args: []ast.Const{ast.Int(1)}}
+	in := MustEval(p, db.FromFacts([]ast.GroundAtom{ga("Node", 1), ga("Node", 2), base}))
+	if _, _, err := Incremental(p, in, []ast.GroundAtom{ga("E", 1, 2)}, Options{}); err == nil {
+		t.Fatal("negation accepted by Incremental")
+	}
+}

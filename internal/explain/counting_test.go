@@ -1,0 +1,133 @@
+package explain_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/explain"
+	"repro/internal/minimize"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func TestCountingProverOutputMatchesEval(t *testing.T) {
+	p := workload.TransitiveClosure()
+	in := workload.Chain("A", 6)
+	cp, err := explain.NewCountingProver(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Output().Equal(eval.MustEval(p, in)) {
+		t.Fatal("counting prover output differs from eval")
+	}
+}
+
+func TestJustificationCounts(t *testing.T) {
+	// On a 3-chain with doubled-TC: G(0,3) is justified by the base rule
+	// never (not an A edge) and by the recursive rule via two split points
+	// (y=1 and y=2).
+	p := workload.TransitiveClosure()
+	in := workload.Chain("A", 3)
+	cp, err := explain.NewCountingProver(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g03 := ast.NewGroundAtom("G", ast.Int(0), ast.Int(3))
+	if got := cp.Justifications(g03); got != 2 {
+		t.Fatalf("G(0,3) justifications = %d, want 2", got)
+	}
+	// G(0,1) is justified once (base rule only).
+	g01 := ast.NewGroundAtom("G", ast.Int(0), ast.Int(1))
+	if got := cp.Justifications(g01); got != 1 {
+		t.Fatalf("G(0,1) justifications = %d, want 1", got)
+	}
+	// Input facts and absent facts have none.
+	if cp.Justifications(ast.NewGroundAtom("A", ast.Int(0), ast.Int(1))) != 0 {
+		t.Fatal("input fact has justifications")
+	}
+	if cp.Justifications(ast.NewGroundAtom("G", ast.Int(3), ast.Int(0))) != 0 {
+		t.Fatal("absent fact has justifications")
+	}
+}
+
+func TestCountProofs(t *testing.T) {
+	p := workload.TransitiveClosure()
+	in := workload.Chain("A", 4)
+	cp, err := explain.NewCountingProver(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proof trees of G(0,n) under doubled TC follow the Catalan-like
+	// bracketing counts: G(0,1)=1, G(0,2)=1, G(0,3)=2, G(0,4)=5.
+	wants := map[int]int{1: 1, 2: 1, 3: 2, 4: 5}
+	for n, want := range wants {
+		got := cp.CountProofs(ast.NewGroundAtom("G", ast.Int(0), ast.Int(int64(n))), 0)
+		if got != want {
+			t.Fatalf("proofs of G(0,%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Input facts count one proof; absent facts zero.
+	if cp.CountProofs(ast.NewGroundAtom("A", ast.Int(0), ast.Int(1)), 0) != 1 {
+		t.Fatal("input proof count wrong")
+	}
+	if cp.CountProofs(ast.NewGroundAtom("G", ast.Int(4), ast.Int(0)), 0) != 0 {
+		t.Fatal("absent proof count wrong")
+	}
+}
+
+func TestCountProofsCap(t *testing.T) {
+	// A cycle explodes the proof count; the cap must bound the traversal.
+	p := workload.TransitiveClosure()
+	in := workload.Cycle("A", 6)
+	cp, err := explain.NewCountingProver(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cp.CountProofs(ast.NewGroundAtom("G", ast.Int(0), ast.Int(3)), 100)
+	if got != 100 {
+		t.Fatalf("capped count = %d, want 100", got)
+	}
+}
+
+// TestRedundancyMultipliesJustifications is the provenance rendition of
+// the paper's join-reduction claim: a redundant body atom multiplies the
+// justifications of the same facts, and Fig. 2 minimization removes
+// exactly that duplicate work.
+func TestRedundancyMultipliesJustifications(t *testing.T) {
+	// G(x,w) is subsumed by G(x,y) (map w to y), so it is redundant under
+	// UNIFORM equivalence and Fig. 2 removes it — while it stands, every
+	// recursive firing is multiplied by the out-degree of x.
+	bloated := parser.MustParseProgram(`
+		G(x, z) :- A(x, z).
+		G(x, z) :- G(x, y), G(y, z), G(x, w).
+	`)
+	min, _, err := minimize.Program(bloated, minimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.Chain("A", 5)
+	cpBloat, err := explain.NewCountingProver(bloated, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpMin, err := explain.NewCountingProver(min, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cpBloat.Output().Equal(cpMin.Output()) {
+		t.Fatal("programs differ semantically")
+	}
+	if cpBloat.TotalJustifications() <= cpMin.TotalJustifications() {
+		t.Fatalf("redundant atom did not multiply justifications: %d vs %d",
+			cpBloat.TotalJustifications(), cpMin.TotalJustifications())
+	}
+}
+
+func TestCountingProverRejectsNegation(t *testing.T) {
+	p := parser.MustParseProgram(`P(x) :- A(x), !B(x).`)
+	if _, err := explain.NewCountingProver(p, db.New()); err == nil {
+		t.Fatal("negation accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package magic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+func TestSupplementaryShape(t *testing.T) {
+	rw, err := RewriteSupplementary(ancestor(), parser.MustParseAtom("Anc(0, y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Program.Validate(); err != nil {
+		t.Fatalf("supplementary program invalid: %v\n%s", err, rw.Program)
+	}
+	s := rw.Program.String()
+	if !strings.Contains(s, "sup@") {
+		t.Fatalf("no supplementary predicates:\n%s", s)
+	}
+	if rw.Seed.Pred != "m@Anc@bf" {
+		t.Fatalf("seed = %v", rw.Seed)
+	}
+}
+
+func TestSupplementaryAnswersAgree(t *testing.T) {
+	p := ancestor()
+	edb := chainEDB("Par", 25)
+	for _, q := range []string{"Anc(3, y)", "Anc(x, 9)", "Anc(x, y)"} {
+		query := parser.MustParseAtom(q)
+		supAns, _, err := AnswerSupplementary(p, edb, query, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainAns, _, err := Answer(p, edb, query, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		directAns, _, err := DirectAnswer(p, edb, query, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTuples(supAns, plainAns) || !sameTuples(supAns, directAns) {
+			t.Fatalf("query %s: sup %d, plain %d, direct %d answers", q, len(supAns), len(plainAns), len(directAns))
+		}
+	}
+}
+
+func TestSupplementarySameGeneration(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Sg(x, y) :- Flat(x, y).
+		Sg(x, y) :- Up(x, u), Sg(u, v), Down(v, y).
+	`)
+	edb := db.New()
+	for _, f := range []ast.GroundAtom{
+		ga("Up", 1, 10), ga("Up", 2, 10), ga("Up", 3, 11),
+		ga("Flat", 10, 11), ga("Flat", 10, 10),
+		ga("Down", 10, 1), ga("Down", 11, 3), ga("Down", 11, 4),
+	} {
+		edb.Add(f)
+	}
+	query := parser.MustParseAtom("Sg(1, y)")
+	supAns, _, err := AnswerSupplementary(p, edb, query, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directAns, _, err := DirectAnswer(p, edb, query, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTuples(supAns, directAns) {
+		t.Fatalf("same-generation: sup %v vs direct %v", supAns, directAns)
+	}
+}
+
+func TestSupplementaryLongBody(t *testing.T) {
+	// A long body is where supplementary predicates pay off: shared
+	// prefixes are computed once.
+	p := parser.MustParseProgram(`
+		P(x, z) :- E(x, z).
+		P(x, z) :- P(x, a), E(a, b), E(b, c), E(c, d), P(d, z).
+	`)
+	edb := chainEDB("E", 16)
+	query := parser.MustParseAtom("P(0, y)")
+	supAns, supStats, err := AnswerSupplementary(p, edb, query, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directAns, _, err := DirectAnswer(p, edb, query, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTuples(supAns, directAns) {
+		t.Fatalf("long body: %v vs %v", supAns, directAns)
+	}
+	if supStats.DerivedFacts == 0 {
+		t.Fatal("no facts derived at all")
+	}
+}
+
+func TestSupplementaryRandomAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	p := ancestor()
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(8)
+		edb := db.New()
+		for e := 0; e < 2*n; e++ {
+			edb.Add(ga("Par", int64(rng.Intn(n)), int64(rng.Intn(n))))
+		}
+		query := ast.NewAtom("Anc", ast.IntTerm(int64(rng.Intn(n))), ast.Var("y"))
+		supAns, _, err := AnswerSupplementary(p, edb, query, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainAns, _, err := Answer(p, edb, query, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTuples(supAns, plainAns) {
+			t.Fatalf("trial %d: answers differ on\n%s", trial, edb)
+		}
+	}
+}
+
+func TestSupplementaryErrors(t *testing.T) {
+	if _, err := RewriteSupplementary(ancestor(), parser.MustParseAtom("Par(1, y)")); err == nil {
+		t.Fatal("EDB query accepted")
+	}
+	neg := parser.MustParseProgram(`P(x) :- A(x), !B(x).`)
+	if _, err := RewriteSupplementary(neg, parser.MustParseAtom("P(x)")); err == nil {
+		t.Fatal("negation accepted")
+	}
+}

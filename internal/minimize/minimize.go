@@ -1,0 +1,208 @@
+// Package minimize implements Section VII of the paper: minimization of
+// Datalog programs under uniform equivalence.
+//
+// Fig. 1 minimizes a single rule r: each body atom is considered exactly
+// once; if deleting it yields a rule r̂ with r̂ ⊑ᵘ r, the deletion is kept
+// (r ⊑ᵘ r̂ holds trivially, so r̂ ≡ᵘ r). Fig. 2 minimizes a whole program P:
+// first every rule is minimized with the containment test r̂ ⊑ᵘ P (an atom
+// may be redundant relative to the whole program without being redundant in
+// its rule alone), then redundant rules are removed with the test
+// r ⊑ᵘ P∖{r}. Theorem 2 proves that considering each atom and each rule
+// once suffices, provided atoms are removed before rules — which is exactly
+// the order enforced here.
+//
+// The final result is uniformly equivalent to the input and has neither a
+// redundant atom nor a redundant rule, but — as the paper notes — it is not
+// necessarily unique: it may depend on the order in which atoms and rules
+// are considered. Options.Rand exposes that order for the ablation
+// experiments.
+package minimize
+
+import (
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+)
+
+// Options configures minimization.
+type Options struct {
+	// Rand, when non-nil, shuffles the order in which body atoms and rules
+	// are considered for deletion (the paper: the result "may depend upon
+	// the order in which atoms and rules are considered"). Nil keeps source
+	// order, making the result deterministic.
+	Rand *rand.Rand
+	// Valid, when non-nil, is an extra admissibility predicate a shortened
+	// rule must pass before the containment test is even attempted. The
+	// stratified extension uses it to reject deletions that would unbind a
+	// negated literal's variables.
+	Valid func(ast.Rule) bool
+}
+
+// AtomRemoval records one Fig. 1/Fig. 2 atom deletion.
+type AtomRemoval struct {
+	// Rule is the rule as it was immediately before this deletion.
+	Rule ast.Rule
+	// Atom is the deleted body atom.
+	Atom ast.Atom
+}
+
+// Trace records what minimization removed.
+type Trace struct {
+	AtomRemovals []AtomRemoval
+	RuleRemovals []ast.Rule
+}
+
+// AtomsRemoved returns the number of deleted body atoms.
+func (t Trace) AtomsRemoved() int { return len(t.AtomRemovals) }
+
+// RulesRemoved returns the number of deleted rules.
+func (t Trace) RulesRemoved() int { return len(t.RuleRemovals) }
+
+// Rule minimizes a single rule under uniform equivalence (Fig. 1). The
+// returned rule is uniformly equivalent to r and has no redundant atom.
+func Rule(r ast.Rule, opts Options) (ast.Rule, Trace, error) {
+	p := ast.NewProgram(r.Clone())
+	q, trace, err := minimizeAtoms(p, opts)
+	if err != nil {
+		return ast.Rule{}, trace, err
+	}
+	return q.Rules[0], trace, nil
+}
+
+// Program minimizes a program under uniform equivalence (Fig. 2): all
+// redundant atoms are removed first, then all redundant rules. The result
+// is uniformly equivalent to p.
+func Program(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
+	q := p.Clone()
+	if opts.Rand != nil {
+		shuffleProgram(q, opts.Rand)
+	}
+	q, trace, err := minimizeAtoms(q, opts)
+	if err != nil {
+		return nil, trace, err
+	}
+	q, trace2, err := removeRedundantRules(q)
+	if err != nil {
+		return nil, trace, err
+	}
+	trace.RuleRemovals = trace2.RuleRemovals
+	return q, trace, nil
+}
+
+// minimizeAtoms runs the first phase of Fig. 2 on every rule of p (which,
+// for a single-rule program, is exactly Fig. 1). Each atom is considered
+// once; the test for deleting atom α from rule r is r̂ ⊑ᵘ P with P the
+// current program.
+func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
+	var trace Trace
+	q := p.Clone()
+	for i := range q.Rules {
+		if opts.Rand != nil {
+			shuffleBody(&q.Rules[i], opts.Rand)
+		}
+		// k indexes the next unconsidered atom of the current body. When a
+		// deletion succeeds the atom that slides into position k is itself
+		// unconsidered, so k stays put; otherwise k advances. Every atom is
+		// therefore considered exactly once.
+		k := 0
+		for k < len(q.Rules[i].Body) {
+			r := q.Rules[i]
+			cand := r.WithoutBodyAtom(k)
+			if err := cand.Validate(); err != nil {
+				// Deleting the atom breaks range restriction, so the
+				// shortened rule is not even well-formed; keep the atom.
+				k++
+				continue
+			}
+			if opts.Valid != nil && !opts.Valid(cand) {
+				k++
+				continue
+			}
+			ok, err := chase.UniformlyContainsRule(q, cand)
+			if err != nil {
+				return nil, trace, err
+			}
+			if ok {
+				trace.AtomRemovals = append(trace.AtomRemovals, AtomRemoval{Rule: r.Clone(), Atom: r.Body[k].Clone()})
+				q.Rules[i] = cand
+			} else {
+				k++
+			}
+		}
+	}
+	return q, trace, nil
+}
+
+// removeRedundantRules runs the second phase of Fig. 2: each rule is
+// considered once and deleted when it is uniformly contained in the rest of
+// the program.
+func removeRedundantRules(p *ast.Program) (*ast.Program, Trace, error) {
+	var trace Trace
+	q := p.Clone()
+	i := 0
+	for i < len(q.Rules) {
+		r := q.Rules[i]
+		rest := q.WithoutRule(i)
+		ok, err := chase.UniformlyContainsRule(rest, r)
+		if err != nil {
+			return nil, trace, err
+		}
+		if ok {
+			trace.RuleRemovals = append(trace.RuleRemovals, r.Clone())
+			q = rest
+		} else {
+			i++
+		}
+	}
+	return q, trace, nil
+}
+
+// RemoveRedundantRules removes only redundant rules (no atom minimization);
+// exposed for the ablation that demonstrates why Fig. 2 must delete atoms
+// first (Theorem 2's proof depends on it).
+func RemoveRedundantRules(p *ast.Program) (*ast.Program, Trace, error) {
+	return removeRedundantRules(p)
+}
+
+// IsMinimal reports whether p has no atom and no rule deletable under
+// uniform equivalence — the property Theorem 2 guarantees for the output of
+// Program.
+func IsMinimal(p *ast.Program) (bool, error) {
+	for i, r := range p.Rules {
+		for k := range r.Body {
+			cand := r.WithoutBodyAtom(k)
+			if cand.Validate() != nil {
+				continue
+			}
+			ok, err := chase.UniformlyContainsRule(p, cand)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return false, nil
+			}
+		}
+		rest := p.WithoutRule(i)
+		ok, err := chase.UniformlyContainsRule(rest, r)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func shuffleProgram(p *ast.Program, rng *rand.Rand) {
+	rng.Shuffle(len(p.Rules), func(i, j int) {
+		p.Rules[i], p.Rules[j] = p.Rules[j], p.Rules[i]
+	})
+}
+
+func shuffleBody(r *ast.Rule, rng *rand.Rand) {
+	rng.Shuffle(len(r.Body), func(i, j int) {
+		r.Body[i], r.Body[j] = r.Body[j], r.Body[i]
+	})
+}

@@ -1,0 +1,164 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+func TestStratifiedRemovesRedundantPositiveAtom(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Reach(x) :- Src(x).
+		Reach(y) :- Reach(x), E(x, y), E(x, w).
+		Unreach(x) :- Node(x), !Reach(x).
+	`)
+	min, trace, err := StratifiedProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.AtomsRemoved() != 1 {
+		t.Fatalf("removed %d atoms, want 1 (E(x,w))", trace.AtomsRemoved())
+	}
+	if got := trace.AtomRemovals[0].Atom.String(); got != "E(x, w)" {
+		t.Fatalf("removed %s", got)
+	}
+	// Negation structure intact.
+	if !min.Rules[2].HasNegation() {
+		t.Fatalf("negation lost:\n%v", min)
+	}
+	assertSameStratifiedSemantics(t, p, min, []string{"Src", "E", "Node"})
+}
+
+func TestStratifiedRemovesDuplicateNegatedLiteral(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Reach(x) :- Src(x).
+		Unreach(x) :- Node(x), !Reach(x), !Reach(x).
+	`)
+	min, trace, err := StratifiedProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.AtomsRemoved() != 1 || len(min.Rules[1].NegBody) != 1 {
+		t.Fatalf("duplicate negated literal not collapsed:\n%v", min)
+	}
+}
+
+func TestStratifiedRemovesRedundantRule(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Ok(x) :- Node(x), !Bad(x).
+		Ok(y) :- Node(y), !Bad(y), Node(y).
+		Bad(x) :- Flag(x).
+	`)
+	min, trace, err := StratifiedProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second rule is a specialization of the first (after its own atom
+	// minimization it becomes a renamed duplicate, then the rule phase
+	// removes one of the pair).
+	if len(min.Rules) != 2 {
+		t.Fatalf("rules after minimization: %d (trace %+v)\n%v", len(min.Rules), trace, min)
+	}
+	assertSameStratifiedSemantics(t, p, min, []string{"Node", "Flag"})
+}
+
+func TestStratifiedSafetyGuard(t *testing.T) {
+	// B(x,w) is the only positive binding of w... no wait, keep a case
+	// where deleting the only positive binder of a negated variable must be
+	// rejected: Node(x) binds x used in !Bad(x); the candidate deletion of
+	// Node(x) would leave the rule unsafe even though Extra(x) also binds x
+	// — so delete Extra(x) instead and keep safety.
+	p := parser.MustParseProgram(`
+		Ok(x) :- Node(x), Node(x), !Bad(x).
+		Bad(x) :- Flag(x).
+	`)
+	min, _, err := StratifiedProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := min.Rules[0]
+	if len(r.Body) != 1 || len(r.NegBody) != 1 {
+		t.Fatalf("safety-preserving minimization wrong: %v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("minimized rule unsafe: %v", err)
+	}
+}
+
+func TestStratifiedNoFalseDeletions(t *testing.T) {
+	// The negated literal really matters: nothing may be deleted.
+	p := parser.MustParseProgram(`
+		Reach(x) :- Src(x).
+		Reach(y) :- Reach(x), E(x, y).
+		Unreach(x) :- Node(x), !Reach(x).
+	`)
+	min, trace, err := StratifiedProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.AtomsRemoved() != 0 || trace.RulesRemoved() != 0 || !min.Equal(p) {
+		t.Fatalf("tight stratified program modified: %+v\n%v", trace, min)
+	}
+}
+
+func TestStratifiedFallsBackOnPurePrograms(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z), A(x, w).
+	`)
+	min, trace, err := StratifiedProgram(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.AtomsRemoved() != 1 || len(min.Rules[0].Body) != 1 {
+		t.Fatalf("pure fallback failed: %v", min)
+	}
+}
+
+func TestStratifiedRejectsUnstratifiable(t *testing.T) {
+	p := parser.MustParseProgram(`
+		P(x) :- A(x), !Q(x).
+		Q(x) :- A(x), !P(x).
+	`)
+	if _, _, err := StratifiedProgram(p, Options{}); err == nil {
+		t.Fatal("unstratifiable program accepted")
+	}
+}
+
+// assertSameStratifiedSemantics samples random EDBs over the given unary or
+// binary extensional predicates and compares stratified outputs.
+func assertSameStratifiedSemantics(t *testing.T, p1, p2 *ast.Program, edbPreds []string) {
+	t.Helper()
+	arity := map[string]int{}
+	for _, sig := range p1.Predicates() {
+		arity[sig.Name] = sig.Arity
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		d := db.New()
+		n := 2 + rng.Intn(4)
+		for _, pred := range edbPreds {
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				args := make([]ast.Const, arity[pred])
+				for i := range args {
+					args[i] = ast.Int(int64(rng.Intn(n)))
+				}
+				d.AddTuple(pred, args)
+			}
+		}
+		o1, _, err := eval.Eval(p1, d, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, _, err := eval.Eval(p2, d, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o1.Equal(o2) {
+			t.Fatalf("trial %d: stratified outputs differ on\n%s\n%s\nvs\n%s", trial, d, o1, o2)
+		}
+	}
+}

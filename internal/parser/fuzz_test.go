@@ -1,0 +1,47 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the parser's robustness (no panics on arbitrary input)
+// and the printer round-trip on every input that parses. With `go test`
+// only the seed corpus runs; `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"G(x, z) :- A(x, z).",
+		"G(x, z) :- G(x, y), G(y, z).",
+		"A(1, 2). A(-3, 4).",
+		"G(x, z) -> A(x, w).",
+		"P(x) :- A(x), !B(x).",
+		`Par("ann", 'bob').`,
+		"% comment\nG(x) :- A(x). // trailing",
+		"G(x",
+		":-",
+		"G(x) :- .",
+		"G(x,) :- A(x).",
+		"G(x) :- A(x)",
+		"\"unterminated",
+		"G(x, 99999999999999999999999) :- A(x).",
+		"G(日本語) :- A(日本語).",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must round-trip through the printer.
+		printed := res.Program.String()
+		for _, fact := range res.Facts {
+			printed += fact.String() + ".\n"
+		}
+		for _, tgd := range res.TGDs {
+			printed += tgd.String() + "\n"
+		}
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("printed form does not reparse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package parser implements a lexer and recursive-descent parser for the
+// concrete Datalog syntax used throughout the repository:
+//
+//	G(x, z) :- A(x, y), G(y, z).      % a rule
+//	A(1, 2).                          % a fact (ground atom)
+//	G(x, z) -> A(x, w).               % a tgd (Section VIII)
+//	P(x) :- A(x), !B(x).              % stratified negation (extension)
+//
+// Identifiers beginning with an upper-case letter are predicate symbols;
+// identifiers beginning with a lower-case letter are variables ('_' is the
+// anonymous variable — fresh at every occurrence); integers and
+// quoted strings are constants (quoted strings are interned through a
+// SymbolTable, honouring the paper's "constants are integers" convention
+// internally). Comments run from '%' or "//" to end of line.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF     tokenKind = iota
+	tokIdent             // predicate or variable name
+	tokInt               // integer literal
+	tokString            // quoted symbolic constant
+	tokLParen            // (
+	tokRParen            // )
+	tokComma             // ,
+	tokPeriod            // .
+	tokImplies           // :-
+	tokArrow             // ->
+	tokBang              // !
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokArrow:
+		return "'->'"
+	case tokBang:
+		return "'!'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == '.':
+		l.advance()
+		return token{kind: tokPeriod, text: ".", line: line, col: col}, nil
+	case r == '!':
+		l.advance()
+		return token{kind: tokBang, text: "!", line: line, col: col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected ':-' but found ':%c'", l.peek())
+		}
+		l.advance()
+		return token{kind: tokImplies, text: ":-", line: line, col: col}, nil
+	case r == '-':
+		l.advance()
+		if l.peek() == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "->", line: line, col: col}, nil
+		}
+		// Negative integer literal.
+		if !unicode.IsDigit(l.peek()) {
+			return token{}, l.errorf(line, col, "expected '->' or digit after '-'")
+		}
+		text := "-" + l.lexDigits()
+		return token{kind: tokInt, text: text, line: line, col: col}, nil
+	case unicode.IsDigit(r):
+		return token{kind: tokInt, text: l.lexDigits(), line: line, col: col}, nil
+	case r == '"' || r == '\'':
+		quote := r
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == quote {
+				break
+			}
+			if c == '\n' {
+				return token{}, l.errorf(line, col, "newline in string literal")
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '\'' {
+				sb.WriteRune(l.advance())
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: sb.String(), line: line, col: col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+}
+
+func (l *lexer) lexDigits() string {
+	var sb strings.Builder
+	for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	return sb.String()
+}

@@ -1,0 +1,370 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+)
+
+// Result is the outcome of parsing a source text: the rules, the ground
+// facts (atoms stated without a body, forming an input DB), the tgds, and
+// the symbol table interning any quoted constants.
+type Result struct {
+	Program *ast.Program
+	Facts   []ast.GroundAtom
+	TGDs    []ast.TGD
+	Symbols *ast.SymbolTable
+}
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	syms *ast.SymbolTable
+	// anon numbers the anonymous variables ('_'), each occurrence fresh.
+	anon int
+}
+
+// Parse parses a full source text of rules, facts and tgds, validating the
+// resulting program. A fresh symbol table is allocated for quoted constants.
+func Parse(src string) (*Result, error) {
+	return ParseWithSymbols(src, ast.NewSymbolTable())
+}
+
+// ParseWithSymbols is Parse but interning quoted constants into the supplied
+// table, so that several sources can share a constant space.
+func ParseWithSymbols(src string, syms *ast.SymbolTable) (*Result, error) {
+	p := &parser{lex: newLexer(src), syms: syms}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	res := &Result{Program: ast.NewProgram(), Symbols: syms}
+	for p.tok.kind != tokEOF {
+		if err := p.statement(res); err != nil {
+			return nil, err
+		}
+	}
+	if err := res.Program.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range res.TGDs {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and examples
+// with literal sources.
+func MustParse(src string) *Result {
+	res, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ParseProgram parses a source containing only rules and returns the
+// program. Facts and tgds in the source are rejected.
+func ParseProgram(src string) (*ast.Program, error) {
+	res, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Facts) > 0 {
+		return nil, fmt.Errorf("parser: unexpected fact %s in program source", res.Facts[0])
+	}
+	if len(res.TGDs) > 0 {
+		return nil, fmt.Errorf("parser: unexpected tgd %s in program source", res.TGDs[0])
+	}
+	return res.Program, nil
+}
+
+// MustParseProgram is ParseProgram but panics on error.
+func MustParseProgram(src string) *ast.Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseTGD parses a single tgd.
+func ParseTGD(src string) (ast.TGD, error) {
+	res, err := Parse(src)
+	if err != nil {
+		return ast.TGD{}, err
+	}
+	if len(res.TGDs) != 1 || len(res.Program.Rules) > 0 || len(res.Facts) > 0 {
+		return ast.TGD{}, fmt.Errorf("parser: expected exactly one tgd")
+	}
+	return res.TGDs[0], nil
+}
+
+// MustParseTGD is ParseTGD but panics on error.
+func MustParseTGD(src string) ast.TGD {
+	t, err := ParseTGD(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParseAtom parses a single atom (no trailing period required). Quoted
+// constants are interned into a fresh table; when the atom must share a
+// constant space with an already-parsed source (e.g. a CLI query against a
+// file's facts), use ParseAtomWithSymbols.
+func ParseAtom(src string) (ast.Atom, error) {
+	return ParseAtomWithSymbols(src, ast.NewSymbolTable())
+}
+
+// ParseAtomWithSymbols parses a single atom, interning quoted constants
+// into syms so they identify with constants from other sources parsed with
+// the same table.
+func ParseAtomWithSymbols(src string, syms *ast.SymbolTable) (ast.Atom, error) {
+	p := &parser{lex: newLexer(src), syms: syms}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.atom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokEOF && p.tok.kind != tokPeriod {
+		return ast.Atom{}, p.unexpected("end of atom")
+	}
+	return a, nil
+}
+
+// MustParseAtom is ParseAtom but panics on error.
+func MustParseAtom(src string) ast.Atom {
+	a, err := ParseAtom(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.unexpected(kind.String())
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) unexpected(want string) error {
+	got := p.tok.kind.String()
+	if p.tok.text != "" {
+		got = fmt.Sprintf("%s %q", got, p.tok.text)
+	}
+	return fmt.Errorf("%d:%d: expected %s, found %s", p.tok.line, p.tok.col, want, got)
+}
+
+// statement parses one of: fact, rule, tgd.
+func (p *parser) statement(res *Result) error {
+	first, err := p.atom()
+	if err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokPeriod:
+		// A fact or a bodiless rule; ground atoms become facts.
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if !first.IsGround() {
+			return fmt.Errorf("fact %s has variables; a rule needs a body", first)
+		}
+		res.Facts = append(res.Facts, first.MustGround(nil))
+		return nil
+
+	case tokImplies:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		rule := ast.Rule{Head: first}
+		for {
+			neg := false
+			if p.tok.kind == tokBang {
+				neg = true
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			a, err := p.atom()
+			if err != nil {
+				return err
+			}
+			if neg {
+				rule.NegBody = append(rule.NegBody, a)
+			} else {
+				rule.Body = append(rule.Body, a)
+			}
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPeriod); err != nil {
+			return err
+		}
+		res.Program.Rules = append(res.Program.Rules, rule)
+		return nil
+
+	case tokComma, tokArrow:
+		// A tgd: LHS conjunction -> RHS conjunction.
+		lhs := []ast.Atom{first}
+		for p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			a, err := p.atom()
+			if err != nil {
+				return err
+			}
+			lhs = append(lhs, a)
+		}
+		if _, err := p.expect(tokArrow); err != nil {
+			return err
+		}
+		var rhs []ast.Atom
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return err
+			}
+			rhs = append(rhs, a)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPeriod); err != nil {
+			return err
+		}
+		res.TGDs = append(res.TGDs, ast.TGD{Lhs: lhs, Rhs: rhs})
+		return nil
+
+	default:
+		return p.unexpected("'.', ':-', ',' or '->'")
+	}
+}
+
+// atom parses Pred(t1, ..., tn).
+func (p *parser) atom() (ast.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if !isPredicateName(name.text) {
+		return ast.Atom{}, fmt.Errorf("%d:%d: predicate name %q must begin with an upper-case letter", name.line, name.col, name.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return ast.Atom{}, err
+	}
+	var args []ast.Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		args = append(args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return ast.Atom{Pred: name.text, Args: args}, nil
+}
+
+func (p *parser) term() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		text := p.tok.text
+		if isPredicateName(text) {
+			return ast.Term{}, fmt.Errorf("%d:%d: %q begins with an upper-case letter; variables are lower-case and constants are integers or quoted", p.tok.line, p.tok.col, text)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		if text == "_" {
+			// Anonymous variable: every occurrence is a fresh variable, so
+			// G(x, _) matches any second argument without joining.
+			p.anon++
+			return ast.Var(fmt.Sprintf("_%d", p.anon)), nil
+		}
+		return ast.Var(text), nil
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return ast.Term{}, fmt.Errorf("%d:%d: bad integer %q: %v", p.tok.line, p.tok.col, p.tok.text, err)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.IntTerm(n), nil
+	case tokString:
+		c := p.syms.Intern(p.tok.text)
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.Con(c), nil
+	default:
+		return ast.Term{}, p.unexpected("term (variable, integer, or quoted constant)")
+	}
+}
+
+func isPredicateName(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return unicode.IsUpper(r)
+}
+
+// ParseDatabase parses a source containing only facts and returns them as
+// a database, interning quoted constants into syms (which may be nil for a
+// fresh table). Rules or tgds in the source are rejected — use Parse for
+// mixed sources.
+func ParseDatabase(src string, syms *ast.SymbolTable) (*db.Database, *ast.SymbolTable, error) {
+	if syms == nil {
+		syms = ast.NewSymbolTable()
+	}
+	res, err := ParseWithSymbols(src, syms)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.Program.Rules) > 0 {
+		return nil, nil, fmt.Errorf("parser: unexpected rule %s in database source", res.Program.Rules[0])
+	}
+	if len(res.TGDs) > 0 {
+		return nil, nil, fmt.Errorf("parser: unexpected tgd %s in database source", res.TGDs[0])
+	}
+	return db.FromFacts(res.Facts), syms, nil
+}

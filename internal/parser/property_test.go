@@ -1,0 +1,31 @@
+package parser_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+// TestQuickPrintParseRoundTrip checks that printing a random program and
+// re-parsing it yields the identical program — the parser and printer are
+// exact inverses on the AST's printable range.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomProgram(rng, 1+rng.Intn(5))
+		if p.Validate() != nil {
+			return true
+		}
+		q, err := parser.ParseProgram(p.String())
+		if err != nil {
+			return false
+		}
+		return p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package preserve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/parser"
+)
+
+func TestCounterexampleString(t *testing.T) {
+	p := parser.MustParseProgram(`G(x, z) :- G(x, y), G(y, z).`)
+	v, cex, err := NonRecursively(p, tgds("G(x, y) -> A(x, y)."), chase.Budget{})
+	if err != nil || v != chase.No || cex == nil {
+		t.Fatalf("setup: %v %v %v", v, cex, err)
+	}
+	s := cex.String()
+	if !strings.Contains(s, "violated on") || !strings.Contains(s, "G(") {
+		t.Fatalf("Counterexample.String: %q", s)
+	}
+	fv := &foundViolation{cex}
+	if fv.Error() == "" {
+		t.Fatal("foundViolation.Error empty")
+	}
+}
+
+// The in-package depth tests complement the cross-package ones in
+// internal/unfold (which exercise the same entry points but cannot count
+// toward this package's own regression suite).
+func TestDepthEntryPointsInPackage(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z).
+		H(x) :- G(x, y).
+	`)
+	tau := parser.MustParseTGD("G(x, z) -> H(x).")
+	v, _, err := PreliminarySatisfiesAtDepth(p, tgds("G(x, z) -> H(x)."), 2, chase.Budget{})
+	if err != nil || v != chase.Yes {
+		t.Fatalf("PreliminarySatisfiesAtDepth: %v %v", v, err)
+	}
+	v, _, err = NonRecursivelyAtDepth(p, tgds("G(x, z) -> H(x)."), 2, chase.Budget{})
+	if err != nil || v != chase.Yes {
+		t.Fatalf("NonRecursivelyAtDepth: %v %v", v, err)
+	}
+	_ = tau
+	// Negation rejection on the depth paths.
+	neg := parser.MustParseProgram(`P(x) :- A(x), !B(x).`)
+	if _, _, err := PreliminarySatisfiesAtDepth(neg, tgds("P(x) -> A(x)."), 2, chase.Budget{}); err == nil {
+		t.Fatal("negation accepted at depth")
+	}
+	if _, _, err := NonRecursivelyAtDepth(neg, tgds("P(x) -> A(x)."), 2, chase.Budget{}); err == nil {
+		t.Fatal("negation accepted at depth")
+	}
+}

@@ -1,0 +1,447 @@
+package preserve
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/unfold"
+)
+
+// Counterexample describes a refutation found by the Fig. 3 procedure: a DB
+// d (satisfying T up to the point the chase stopped) whose one-step closure
+// ⟨d, Pⁿ(d)⟩ violates the tgd on the recorded left-hand-side instance.
+type Counterexample struct {
+	TGD ast.TGD
+	// DB is the constructed database d.
+	DB *db.Database
+	// LHS is the instantiated left-hand side exhibiting the violation.
+	LHS []ast.GroundAtom
+}
+
+// String renders the counterexample for diagnostics.
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("tgd %s violated on %v over\n%s", c.TGD, c.LHS, c.DB)
+}
+
+// NonRecursively runs the Fig. 3 procedure: it decides whether p preserves
+// T non-recursively, i.e. whether ⟨d, Pⁿ(d)⟩ satisfies T for every DB d
+// satisfying T. Yes answers are exact. No answers come with a finite
+// counterexample and are exact. When T contains embedded tgds the internal
+// chase of d may diverge; the budget then yields Unknown — mirroring the
+// paper's remark that the procedure "may loop forever if T has embedded
+// tgds and the answer is negative".
+//
+// Non-recursive preservation implies preservation (Section IX), which is
+// condition (2) of the Section X recipe for proving P₂ ⊑ P₁.
+func NonRecursively(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	if p.HasNegation() {
+		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
+	}
+	idb := p.IDBPredicates()
+	sawUnknown := false
+	for _, tau := range tgds {
+		// Options for each intentional LHS atom: every rule of p with the
+		// right head predicate, plus the trivial rule Q(x̄) :- Q(x̄)
+		// (Section IX augments the program with trivial rules so that the
+		// combinations also cover "this atom was already in d").
+		v, cex, err := checkTGD(p, idb, tgds, tau, budget, combinationOptions(p, idb))
+		if err != nil {
+			return chase.Unknown, nil, err
+		}
+		switch v {
+		case chase.No:
+			return chase.No, cex, nil
+		case chase.Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return chase.Unknown, nil, nil
+	}
+	return chase.Yes, nil, nil
+}
+
+// PreliminarySatisfies decides condition (3′) of Section X: for every EDB
+// d, the preliminary DB ⟨d, Pⁱ(d)⟩ of p satisfies T. Per the paper's two
+// modifications of Fig. 3: the tgds are NOT applied to d (d is an arbitrary
+// EDB, not assumed to satisfy T), and no trivial rules are added (an EDB
+// has no ground atoms of intentional predicates), with the rule options
+// drawn from the initialization program Pⁱ only. The procedure always
+// terminates, so the verdict is never Unknown.
+func PreliminarySatisfies(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	if p.HasNegation() {
+		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
+	}
+	idb := p.IDBPredicates()
+	init := p.InitRules()
+	opts := make(map[string][]option)
+	for _, r := range init.Rules {
+		opts[r.Head.Pred] = append(opts[r.Head.Pred], option{rule: r})
+	}
+	for _, tau := range tgds {
+		v, cex, err := checkTGDOnce(init, idb, tau, opts)
+		if err != nil {
+			return chase.Unknown, nil, err
+		}
+		if v == chase.No {
+			return chase.No, cex, nil
+		}
+	}
+	return chase.Yes, nil, nil
+}
+
+// option is one way to account for an intentional LHS atom: a producing
+// rule, or (trivial=true) membership in d itself.
+type option struct {
+	rule    ast.Rule
+	trivial bool
+}
+
+// combinationOptions returns, per intentional predicate, the rules of p
+// with that head plus the trivial option.
+func combinationOptions(p *ast.Program, idb map[string]bool) map[string][]option {
+	opts := make(map[string][]option)
+	for _, r := range p.Rules {
+		opts[r.Head.Pred] = append(opts[r.Head.Pred], option{rule: r})
+	}
+	for pred := range idb {
+		opts[pred] = append(opts[pred], option{trivial: true})
+	}
+	return opts
+}
+
+// checkTGD enumerates all combinations for tau against p and runs the
+// interleaved chase-and-check loop on each.
+func checkTGD(p *ast.Program, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, budget chase.Budget, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+	sawUnknown := false
+	err := forEachCombination(idb, tau, opts, func(c *combination) error {
+		v, cex := runCombination(p, tgds, tau, c, budget, true)
+		switch v {
+		case chase.No:
+			return &foundViolation{cex}
+		case chase.Unknown:
+			sawUnknown = true
+		}
+		return nil
+	})
+	if err != nil {
+		var fv *foundViolation
+		if asViolation(err, &fv) {
+			return chase.No, fv.cex, nil
+		}
+		return chase.Unknown, nil, err
+	}
+	if sawUnknown {
+		return chase.Unknown, nil, nil
+	}
+	return chase.Yes, nil, nil
+}
+
+// checkTGDOnce is the preliminary-DB variant: no tgd application to d, so a
+// single Pⁿ(d) check decides each combination.
+func checkTGDOnce(init *ast.Program, idb map[string]bool, tau ast.TGD, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+	err := forEachCombination(idb, tau, opts, func(c *combination) error {
+		v, cex := runCombination(init, nil, tau, c, chase.Budget{MaxAtoms: 1 << 30, MaxRounds: 1}, false)
+		if v == chase.No {
+			return &foundViolation{cex}
+		}
+		return nil
+	})
+	if err != nil {
+		var fv *foundViolation
+		if asViolation(err, &fv) {
+			return chase.No, fv.cex, nil
+		}
+		return chase.Unknown, nil, err
+	}
+	return chase.Yes, nil, nil
+}
+
+// foundViolation threads a counterexample out of the combination walk.
+type foundViolation struct{ cex *Counterexample }
+
+func (f *foundViolation) Error() string { return "violation found" }
+
+func asViolation(err error, out **foundViolation) bool {
+	fv, ok := err.(*foundViolation)
+	if ok {
+		*out = fv
+	}
+	return ok
+}
+
+// combination is one fully unified and frozen scenario: the database d of
+// atoms known to be in the input, the instantiated LHS of the tgd, and the
+// RHS with universal variables bound by theta (existential variables left
+// free for the satisfaction search).
+type combination struct {
+	d     *db.Database
+	lhs   []ast.GroundAtom
+	rhs   []ast.Atom
+	theta ast.Binding
+}
+
+// forEachCombination enumerates every way of assigning an option to each
+// intentional atom of tau's LHS. For each assignment it computes the most
+// general unifier of the atoms with their chosen rule heads, freezes the
+// remaining variables, builds d, and invokes visit. Assignments whose
+// unification fails are skipped: the mgu-level unification makes this
+// sound (see the package comment). An intentional atom with no producing
+// rule and no trivial option (the preliminary-DB variant) also makes the
+// combination impossible, since nothing could have put that atom in the
+// one-step closure.
+func forEachCombination(idb map[string]bool, tau ast.TGD, opts map[string][]option, visit func(*combination) error) error {
+	// Rename tau apart from all rule variables.
+	tau = tau.Rename(func(v string) string { return "t·" + v })
+
+	var intAtoms []ast.Atom
+	var extAtoms []ast.Atom
+	for _, a := range tau.Lhs {
+		if idb[a.Pred] {
+			intAtoms = append(intAtoms, a)
+		} else {
+			extAtoms = append(extAtoms, a)
+		}
+	}
+
+	choice := make([]int, len(intAtoms))
+	for {
+		if err := visitCombination(tau, intAtoms, extAtoms, opts, choice, visit); err != nil {
+			return err
+		}
+		// Advance the mixed-radix counter over choices.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(opts[intAtoms[i].Pred]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			if len(choice) == 0 {
+				return nil // single (empty) combination already visited
+			}
+			return nil
+		}
+		if len(choice) == 0 {
+			return nil
+		}
+	}
+}
+
+func visitCombination(tau ast.TGD, intAtoms, extAtoms []ast.Atom, opts map[string][]option, choice []int, visit func(*combination) error) error {
+	u := newUnifier()
+	type assigned struct {
+		body    []ast.Atom
+		trivial bool
+		atom    ast.Atom
+	}
+	var asgs []assigned
+	for i, a := range intAtoms {
+		options := opts[a.Pred]
+		if len(options) == 0 {
+			return nil // no producer: combination impossible
+		}
+		opt := options[choice[i]]
+		if opt.trivial {
+			asgs = append(asgs, assigned{trivial: true, atom: a})
+			continue
+		}
+		r := opt.rule.RenameApart(i)
+		if !u.UnifyAtoms(a, r.Head) {
+			return nil // constant clash: combination impossible
+		}
+		asgs = append(asgs, assigned{body: r.Body, atom: a})
+	}
+
+	// Apply the unifier everywhere, then freeze every remaining universal
+	// variable (tau's LHS variables and all rule-body variables) to
+	// distinct constants. Existential variables of tau appear only in the
+	// RHS and stay free.
+	lhsAtoms := u.ApplyAll(tau.Lhs)
+	rhsAtoms := u.ApplyAll(tau.Rhs)
+	existential := make(map[string]bool)
+	for _, v := range tau.ExistentialVars() {
+		// Existential names survive the unifier untouched (they never occur
+		// in the LHS or rule heads).
+		existential[v] = true
+	}
+
+	frozen := make(map[string]bool)
+	var freezeList []string
+	collect := func(atoms []ast.Atom) {
+		for _, a := range atoms {
+			for _, t := range a.Args {
+				if t.IsVar && !existential[t.Name] && !frozen[t.Name] {
+					frozen[t.Name] = true
+					freezeList = append(freezeList, t.Name)
+				}
+			}
+		}
+	}
+	collect(lhsAtoms)
+	for i := range asgs {
+		asgs[i].body = u.ApplyAll(asgs[i].body)
+		collect(asgs[i].body)
+	}
+
+	gen := ast.NewFrozenGen(0)
+	theta := ast.FreezeVars(freezeList, gen)
+
+	d := db.New()
+	for _, a := range u.ApplyAll(extAtoms) {
+		d.Add(a.MustGround(theta))
+	}
+	lhs := make([]ast.GroundAtom, len(lhsAtoms))
+	for i, a := range lhsAtoms {
+		lhs[i] = a.MustGround(theta)
+	}
+	for _, asg := range asgs {
+		if asg.trivial {
+			d.Add(u.Apply(asg.atom).MustGround(theta))
+			continue
+		}
+		for _, a := range asg.body {
+			d.Add(a.MustGround(theta))
+		}
+	}
+
+	return visit(&combination{d: d, lhs: lhs, rhs: rhsAtoms, theta: theta})
+}
+
+// runCombination executes the interleaved loop of Section IX on one
+// combination: check whether the instantiated LHS exhibits a violation in
+// ⟨d, Pⁿ(d)⟩; if it does, apply one round of T to d (inferences implied by
+// d ∈ SAT(T)) and re-check; conclude a genuine violation only when d has
+// reached its T-fixpoint. With chaseD=false (the preliminary-DB variant) no
+// tgds are applied and the first check decides.
+func runCombination(p *ast.Program, tgds []ast.TGD, tau ast.TGD, c *combination, budget chase.Budget, chaseD bool) (chase.Verdict, *Counterexample) {
+	budget = normalize(budget)
+	_, maxNull := c.d.MaxGeneratedIndexes()
+	nullGen := ast.NewNullGen(maxNull + 1)
+	d := c.d
+	for round := 0; round < budget.MaxRounds; round++ {
+		full := d.Clone()
+		full.AddAll(eval.NonRecursive(p, d))
+		if db.Satisfiable(full, c.rhs, c.theta) {
+			return chase.Yes, nil
+		}
+		if !chaseD {
+			return chase.No, &Counterexample{TGD: tau, DB: d.Clone(), LHS: c.lhs}
+		}
+		if added := chase.ApplyTGDRound(tgds, d, nullGen); added == 0 {
+			return chase.No, &Counterexample{TGD: tau, DB: d.Clone(), LHS: c.lhs}
+		}
+		if d.Len() > budget.MaxAtoms {
+			return chase.Unknown, nil
+		}
+	}
+	return chase.Unknown, nil
+}
+
+func normalize(b chase.Budget) chase.Budget {
+	if b.MaxAtoms == 0 {
+		b.MaxAtoms = chase.DefaultBudget.MaxAtoms
+	}
+	if b.MaxRounds == 0 {
+		b.MaxRounds = chase.DefaultBudget.MaxRounds
+	}
+	return b
+}
+
+// PreliminarySatisfiesAtDepth generalizes PreliminarySatisfies following
+// the closing remark of Section X: the preliminary DB need not be the one
+// generated by the initialization rules — any set of rules applied a fixed
+// number of times will do, expressed as a non-recursive program. This
+// variant unfolds p to derivation depth k (internal/unfold) and tests that
+// the resulting preliminary DB ⟨d, Uₖⁿ(d)⟩ satisfies T for every EDB d.
+//
+// A Yes answer is sound for the Section X pipeline at any depth. A No
+// answer means this particular depth's preliminary DB can violate T; a
+// deeper (or different) intermediate DB might still work, so callers
+// typically probe increasing depths. Depth 1 coincides with
+// PreliminarySatisfies.
+func PreliminarySatisfiesAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	if depth <= 1 {
+		return PreliminarySatisfies(p, tgds, budget)
+	}
+	if p.HasNegation() {
+		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
+	}
+	res, err := unfold.ToDepth(p, depth, 0)
+	if err != nil {
+		return chase.Unknown, nil, err
+	}
+	idb := p.IDBPredicates()
+	init := res.Program
+	opts := make(map[string][]option)
+	for _, r := range init.Rules {
+		opts[r.Head.Pred] = append(opts[r.Head.Pred], option{rule: r})
+	}
+	for _, tau := range tgds {
+		v, cex, err := checkTGDOnce(init, idb, tau, opts)
+		if err != nil {
+			return chase.Unknown, nil, err
+		}
+		if v == chase.No {
+			if !res.Complete {
+				// The unfolding was truncated; the violation may be an
+				// artifact of the missing derivations.
+				return chase.Unknown, cex, nil
+			}
+			return chase.No, cex, nil
+		}
+	}
+	return chase.Yes, nil, nil
+}
+
+// NonRecursivelyAtDepth strengthens the Fig. 3 test by the same move
+// Section X's closing remark applies to the preliminary DB: instead of one
+// application of P, consider k-round blocks. The partially unfolded
+// program Q (internal/unfold.Partial) has Qⁿ(d) equal to k rounds of P, so
+// running Fig. 3 against Q certifies ⟨d, Qⁿ(d)⟩ ∈ SAT(T) for all
+// d ∈ SAT(T) — and since P(d) is the limit of k-round blocks each
+// preserving T, P preserves T. Depth 1 coincides with NonRecursively.
+//
+// A No verdict at depth k means a k-round block can break T starting from
+// some DB in SAT(T); a larger depth may still succeed (witnesses gain
+// rounds too), so callers typically probe increasing depths. A truncated
+// unfolding demotes No to Unknown.
+func NonRecursivelyAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	if depth <= 1 {
+		return NonRecursively(p, tgds, budget)
+	}
+	if p.HasNegation() {
+		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
+	}
+	res, err := unfold.Partial(p, depth, 0)
+	if err != nil {
+		return chase.Unknown, nil, err
+	}
+	q := res.Program
+	idb := q.IDBPredicates()
+	sawUnknown := false
+	for _, tau := range tgds {
+		v, cex, err := checkTGD(q, idb, tgds, tau, budget, combinationOptions(q, idb))
+		if err != nil {
+			return chase.Unknown, nil, err
+		}
+		switch v {
+		case chase.No:
+			if !res.Complete {
+				return chase.Unknown, cex, nil
+			}
+			return chase.No, cex, nil
+		case chase.Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return chase.Unknown, nil, nil
+	}
+	return chase.Yes, nil, nil
+}

@@ -1,0 +1,24 @@
+// Package preserve implements Section IX of the paper: the chase-style
+// procedure of Fig. 3 (after Klug and Price) for testing that a program P
+// preserves a set T of tgds non-recursively — i.e. ⟨d, Pⁿ(d)⟩ ∈ SAT(T) for
+// every d ∈ SAT(T) — and the Section X variant (condition 3′) testing that
+// the preliminary DB of P satisfies T for every EDB.
+//
+// One refinement over the paper's informal presentation: the paper
+// instantiates the tgd's left-hand side to *distinct* constants and then
+// unifies those ground atoms with rule heads, treating a failed unification
+// as an impossible combination. With a rule head containing repeated
+// variables (e.g. G(z, z) :- B(z)) that would be unsound: the distinct
+// constants fail to unify even though collapsed instances exist. This
+// implementation therefore unifies at the term level (computing a most
+// general unifier that may identify left-hand-side variables) and freezes
+// only the variables that remain — the canonical-DB homomorphism argument
+// in the paper's appendix is exactly the soundness proof for this variant.
+package preserve
+
+import "repro/internal/ast"
+
+// newUnifier returns the shared mgu engine from the ast package; see the
+// package comment for why mgu-level unification (rather than the paper's
+// ground instantiation) is needed for soundness.
+func newUnifier() *ast.Unifier { return ast.NewUnifier() }

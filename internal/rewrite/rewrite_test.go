@@ -1,0 +1,256 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+// equivalentOnEDBs samples random EDBs and compares the two programs'
+// outputs restricted to the predicates of p1 (unfolding can drop a
+// predicate entirely).
+func equivalentOnEDBs(t *testing.T, p1, p2 *ast.Program, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	idb := p1.IDBPredicates()
+	sharedIDB := p2.IDBPredicates()
+	for trial := 0; trial < 20; trial++ {
+		d := db.New()
+		n := 2 + rng.Intn(4)
+		for _, sig := range p1.Predicates() {
+			if idb[sig.Name] {
+				continue
+			}
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				args := make([]ast.Const, sig.Arity)
+				for i := range args {
+					args[i] = ast.Int(int64(rng.Intn(n)))
+				}
+				d.AddTuple(sig.Name, args)
+			}
+		}
+		o1 := eval.MustEval(p1, d)
+		o2 := eval.MustEval(p2, d)
+		// Compare on predicates both programs still define, plus the EDB.
+		for _, f := range o1.Facts() {
+			if idb[f.Pred] && !sharedIDB[f.Pred] {
+				continue
+			}
+			if !o2.Has(f) {
+				t.Fatalf("trial %d: %v lost after transformation\n%s", trial, f, d)
+			}
+		}
+		for _, f := range o2.Facts() {
+			if !o1.Has(f) {
+				t.Fatalf("trial %d: %v invented by transformation\n%s", trial, f, d)
+			}
+		}
+	}
+}
+
+func TestUnfoldAtomLinearTC(t *testing.T) {
+	// Unfolding G in the right-linear rule through both G-rules yields the
+	// classic two-step expansion.
+	p := workload.TransitiveClosureLinear()
+	out, err := UnfoldAtom(p, 1, 1) // G(y,z) inside A(x,y),G(y,z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: the base rule, plus G(x,z) :- A(x,y), A(y,z) and
+	// G(x,z) :- A(x,y), A(y,w), G(w,z).
+	if len(out.Rules) != 3 {
+		t.Fatalf("unfolded program:\n%v", out)
+	}
+	equivalentOnEDBs(t, p, out, 1)
+}
+
+func TestUnfoldAtomWithConstants(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, 3) :- A(x).
+		H(x, z) :- G(x, z), B(z).
+	`)
+	out, err := UnfoldAtom(p, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H's rule specializes to z=3.
+	found := false
+	for _, r := range out.Rules {
+		if r.Head.Pred == "H" && !r.Head.Args[1].IsVar && r.Head.Args[1].Val == ast.Int(3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("constant specialization missing:\n%v", out)
+	}
+	equivalentOnEDBs(t, p, out, 2)
+}
+
+func TestUnfoldAtomErrors(t *testing.T) {
+	p := workload.TransitiveClosureLinear()
+	if _, err := UnfoldAtom(p, 9, 0); err == nil {
+		t.Fatal("bad rule index accepted")
+	}
+	if _, err := UnfoldAtom(p, 1, 9); err == nil {
+		t.Fatal("bad atom index accepted")
+	}
+	if _, err := UnfoldAtom(p, 1, 0); err == nil {
+		t.Fatal("extensional atom unfolded") // A(x,y) at index 0
+	}
+	neg := parser.MustParseProgram(`P(x) :- A(x), !B(x).`)
+	if _, err := UnfoldAtom(neg, 0, 0); err == nil {
+		t.Fatal("negated rule unfolded")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z).
+		G(x, z) :- G(x, y), G(y, z).
+		Junk(x) :- B(x), G(x, x).
+		MoreJunk(x) :- Junk(x).
+	`)
+	out := RemoveUnreachable(p, "G")
+	if len(out.Rules) != 2 {
+		t.Fatalf("unreachable rules kept:\n%v", out)
+	}
+	// Junk is reachable FROM MoreJunk, so asking for MoreJunk keeps all.
+	all := RemoveUnreachable(p, "MoreJunk")
+	if len(all.Rules) != 4 {
+		t.Fatalf("needed rules dropped:\n%v", all)
+	}
+	// Query answers are preserved for the kept predicate.
+	edb := db.FromFacts([]ast.GroundAtom{
+		{Pred: "A", Args: []ast.Const{ast.Int(1), ast.Int(2)}},
+		{Pred: "B", Args: []ast.Const{ast.Int(1)}},
+	})
+	o1 := eval.MustEval(p, edb)
+	o2 := eval.MustEval(out, edb)
+	for _, f := range o1.Facts() {
+		if f.Pred == "G" && !o2.Has(f) {
+			t.Fatalf("G fact lost: %v", f)
+		}
+	}
+}
+
+func TestRemoveUnfounded(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z).
+		G(x, z) :- G(x, y), G(y, z).
+		Ghost(x) :- Phantom(x, y), A(y, x).
+		Phantom(x, y) :- Phantom(y, x).
+		Uses(x) :- Ghost(x), A(x, x).
+	`)
+	// Phantom has no base case, so Phantom, Ghost, and Uses rules are dead.
+	out := RemoveUnfounded(p)
+	if len(out.Rules) != 2 {
+		t.Fatalf("unfounded rules kept:\n%v", out)
+	}
+	equivalentOnEDBs(t, p, out, 3)
+}
+
+func TestRemoveUnfoundedKeepsNegation(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Reach(x) :- Src(x).
+		Dead(x) :- Node(x), !Reach(x).
+	`)
+	out := RemoveUnfounded(p)
+	if len(out.Rules) != 2 {
+		t.Fatalf("negated rule wrongly removed:\n%v", out)
+	}
+}
+
+func TestTransformationsCompose(t *testing.T) {
+	// Unfold, prune, and check equivalence end to end on a program with
+	// both dead code and an unfoldable call.
+	p := parser.MustParseProgram(`
+		Base(x, y) :- E(x, y).
+		Path(x, z) :- Base(x, y), Path(y, z).
+		Path(x, y) :- Base(x, y).
+		Orphan(x) :- NoBase(x, y).
+		NoBase(x, y) :- NoBase(y, x).
+	`)
+	step1 := RemoveUnfounded(p)
+	step2 := RemoveUnreachable(step1, "Path")
+	out, err := UnfoldAtom(step2, indexOfRule(t, step2, "Path", 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnEDBs(t, RemoveUnreachable(p, "Path"), out, 4)
+}
+
+// indexOfRule finds the i-th rule (0-based among those with the head pred)
+// and returns its index; bodyLen disambiguates.
+func indexOfRule(t *testing.T, p *ast.Program, headPred string, bodyLen int) int {
+	t.Helper()
+	for i, r := range p.Rules {
+		if r.Head.Pred == headPred && len(r.Body) == bodyLen {
+			return i
+		}
+	}
+	t.Fatalf("no rule for %s with %d atoms in:\n%v", headPred, bodyLen, p)
+	return -1
+}
+
+// TestAddInputRulesSectionIV executes the paper's Section IV observation:
+// with input rules added, plain containment over EDBs (sampled) coincides
+// with uniform containment of the original programs — the B@0 relations
+// smuggle initial IDB facts through the EDB.
+func TestAddInputRulesSectionIV(t *testing.T) {
+	p1 := workload.TransitiveClosure()
+	p2 := workload.TransitiveClosureLinear()
+	p1p := AddInputRules(p1)
+	p2p := AddInputRules(p2)
+	if len(p1p.Rules) != len(p1.Rules)+1 || p1p.Rules[2].Body[0].Pred != "G@0" {
+		t.Fatalf("input rules malformed:\n%v", p1p)
+	}
+
+	// Uniform verdicts on the originals (Example 6): p2 ⊑ᵘ p1, not conversely.
+	// Sample plain containment of the primed programs on EDBs that include
+	// G@0 facts: the forward direction must hold everywhere; the converse
+	// must fail on some sample (the Example 4 counterexample smuggled in).
+	rng := rand.New(rand.NewSource(71))
+	sawConverseFail := false
+	for trial := 0; trial < 30; trial++ {
+		d := db.New()
+		n := 2 + rng.Intn(4)
+		for e := 0; e < 2*n; e++ {
+			d.Add(ast.GroundAtom{Pred: "A", Args: []ast.Const{
+				ast.Int(int64(rng.Intn(n))), ast.Int(int64(rng.Intn(n)))}})
+			if rng.Intn(2) == 0 {
+				d.Add(ast.GroundAtom{Pred: "G@0", Args: []ast.Const{
+					ast.Int(int64(rng.Intn(n))), ast.Int(int64(rng.Intn(n)))}})
+			}
+		}
+		o1 := eval.MustEval(p1p, d)
+		o2 := eval.MustEval(p2p, d)
+		if !o1.Contains(o2) {
+			t.Fatalf("trial %d: P2' ⊄ P1' on\n%s", trial, d)
+		}
+		if !o2.Contains(o1) {
+			sawConverseFail = true
+		}
+	}
+	if !sawConverseFail {
+		t.Fatal("converse containment never failed; samples too weak to witness Example 4")
+	}
+
+	// And the primed programs' PLAIN containment direction agrees with the
+	// chase's UNIFORM verdict: since the primed programs have input rules
+	// for every IDB predicate, uniform and plain containment coincide, so
+	// the chase on the primed pair answers the plain question exactly.
+	ok, _, err := chase.UniformlyContains(p1p, p2p)
+	if err != nil || !ok {
+		t.Fatalf("chase on primed programs: %v %v", ok, err)
+	}
+	ok, _, err = chase.UniformlyContains(p2p, p1p)
+	if err != nil || ok {
+		t.Fatalf("chase converse on primed programs: %v %v", ok, err)
+	}
+}
