@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+# Benchmarks tracked in BENCH_eval.json: the eval/chase hot-path families.
+BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE5|BenchmarkE6|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkIncrementalVsReEval
+BENCHTIME ?= 0.3s
+
+.PHONY: all build vet test race bench bench-all experiments examples clean
 
 all: build vet test
 
@@ -14,9 +18,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race ./...
 
+# bench runs the eval/chase benchmark families and records ns/op, B/op and
+# allocs/op per benchmark in BENCH_eval.json so the perf trajectory is
+# tracked from PR to PR.
 bench:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCHTIME) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_eval.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem .
 
 experiments:

@@ -503,6 +503,63 @@ func BenchmarkAblation_ParallelEval(b *testing.B) {
 	}
 }
 
+// BenchmarkStorageKernel measures the db storage layer directly: the
+// insert/dedup path (arena append + open-addressing table) and the
+// index-probe path (hash probe + chain walk), the two operations every
+// fixpoint round multiplies. Both must stay allocation-free per operation.
+func BenchmarkStorageKernel(b *testing.B) {
+	const n = 10000
+	mkDB := func() *db.Database {
+		d := db.New()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < n; i++ {
+			d.AddTuple("R", []ast.Const{ast.Int(int64(rng.Intn(500))), ast.Int(int64(rng.Intn(500)))})
+		}
+		return d
+	}
+	b.Run("insert-dedup", func(b *testing.B) {
+		args := []ast.Const{0, 0}
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := db.New()
+			rng := rand.New(rand.NewSource(3))
+			b.StartTimer()
+			for j := 0; j < n; j++ {
+				args[0], args[1] = ast.Int(int64(rng.Intn(500))), ast.Int(int64(rng.Intn(500)))
+				d.AddTuple("R", args)
+			}
+		}
+	})
+	b.Run("probe-hit", func(b *testing.B) {
+		d := mkDB()
+		rel := d.Relation("R")
+		d.EnsureIndex("R", []int{0})
+		cols := []int{0}
+		key := []ast.Const{0}
+		b.ResetTimer()
+		var total int
+		for i := 0; i < b.N; i++ {
+			key[0] = ast.Int(int64(i % 500))
+			it := rel.ProbeIter(cols, key, d.Round())
+			for _, ok := it.Next(); ok; _, ok = it.Next() {
+				total++
+			}
+		}
+		_ = total
+	})
+	b.Run("lookup-full", func(b *testing.B) {
+		d := mkDB()
+		rel := d.Relation("R")
+		rng := rand.New(rand.NewSource(4))
+		key := []ast.Const{0, 0}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key[0], key[1] = ast.Int(int64(rng.Intn(500))), ast.Int(int64(rng.Intn(500)))
+			rel.LookupID(key)
+		}
+	})
+}
+
 // BenchmarkStratifiedMagic measures the stratified magic pipeline against
 // plain bottom-up evaluation on a dead-code-detection query.
 func BenchmarkStratifiedMagic(b *testing.B) {

@@ -78,8 +78,19 @@ func (d *Database) HasTuple(pred string, args []ast.Const) bool {
 	if !ok || r.arity != len(args) {
 		return false
 	}
-	_, present := r.byKey[encodeKey(args)]
+	_, present := r.lookupID(args)
 	return present
+}
+
+// EnsureIndex builds or extends pred's hash index over the given column
+// set, so subsequent probes against it are lock-free reads. It is a no-op
+// for unknown predicates (the relation may first appear in a later round)
+// and empty column sets. eval calls this at round boundaries for every
+// (predicate, bound-column) pair its joins will probe.
+func (d *Database) EnsureIndex(pred string, cols []int) {
+	if r, ok := d.rels[pred]; ok {
+		r.EnsureIndex(cols)
+	}
 }
 
 // Relation returns the relation for pred, or nil if no tuple of pred has

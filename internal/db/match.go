@@ -38,9 +38,11 @@ func MatchAtom(d *Database, atom ast.Atom, w RoundWindow, b ast.Binding, f func(
 	if rel == nil || rel.arity != len(atom.Args) {
 		return true
 	}
-	// Determine the bound columns under b.
-	var cols []int
-	var key []ast.Const
+	// Determine the bound columns under b, in small stack buffers so the
+	// probe path allocates nothing for ordinary arities.
+	var colsBuf [16]int
+	var keyBuf [16]ast.Const
+	cols, key := colsBuf[:0], keyBuf[:0]
 	for i, t := range atom.Args {
 		if !t.IsVar {
 			cols = append(cols, i)
@@ -54,7 +56,7 @@ func MatchAtom(d *Database, atom ast.Atom, w RoundWindow, b ast.Binding, f func(
 		if !w.Contains(rel.rounds[id]) {
 			return true
 		}
-		added, ok := atom.MatchGround(atom.Pred, rel.tuples[id], b)
+		added, ok := atom.MatchGround(atom.Pred, rel.Tuple(int(id)), b)
 		if !ok {
 			return true
 		}
@@ -65,7 +67,7 @@ func MatchAtom(d *Database, atom ast.Atom, w RoundWindow, b ast.Binding, f func(
 		return cont
 	}
 	if len(cols) == 0 {
-		for id := 0; id < len(rel.tuples); id++ {
+		for id := 0; id < rel.Len(); id++ {
 			if !try(int32(id)) {
 				return false
 			}
@@ -73,14 +75,15 @@ func MatchAtom(d *Database, atom ast.Atom, w RoundWindow, b ast.Binding, f func(
 		return true
 	}
 	if len(cols) == len(atom.Args) {
-		// Fully bound: a single dedup-map lookup suffices.
-		id, ok := rel.byKey[encodeKey(key)]
+		// Fully bound: a single dedup-table probe suffices.
+		id, ok := rel.lookupID(key)
 		if !ok {
 			return true
 		}
 		return try(id)
 	}
-	for _, id := range rel.MatchIDs(cols, key) {
+	it := rel.ProbeIter(cols, key, w.Max)
+	for id, ok := it.Next(); ok; id, ok = it.Next() {
 		if !try(id) {
 			return false
 		}

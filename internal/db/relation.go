@@ -1,95 +1,272 @@
 package db
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 )
 
-// Relation stores the tuples of one predicate. Tuples are kept in insertion
-// order, deduplicated through a hash map, stamped with the round they were
-// inserted in, and indexed lazily by bound-column masks for join lookups.
+// Relation stores the tuples of one predicate in a flat columnar arena:
+// tuple i occupies data[i*arity : (i+1)*arity], stamped with the round it
+// was inserted in. Deduplication and the per-column-set join indexes are
+// open-addressing hash tables keyed by a 64-bit hash of the ast.Const
+// values, with collisions resolved by comparing directly against the arena
+// — no string keys are materialized anywhere on the insert or probe path.
+//
+// Concurrency model: mutation (insert) is single-threaded. Index reads are
+// lock-free; indexes are built or extended either explicitly at round
+// boundaries (EnsureIndex, driven by eval's freeze step) or lazily under mu
+// when a probe's round window can actually see unindexed tuples. During a
+// parallel evaluation round the freeze step guarantees every index a probe
+// will touch is complete, so probes never take the lock.
 type Relation struct {
-	arity   int
-	tuples  [][]ast.Const
-	rounds  []int32
-	byKey   map[string]int32
-	indexes map[uint64]*colIndex
-	// mu guards lazy index construction so that concurrent READERS (the
-	// parallel evaluation phase never mutates tuples while reading) can
-	// share index building. Mutation of the relation itself is not
-	// concurrency-safe.
+	arity  int
+	data   []ast.Const // arena: tuple i at [i*arity : (i+1)*arity]
+	rounds []int32     // round stamp per tuple; non-decreasing
+
+	// Dedup table: open addressing, power-of-two sized. dedupSlot holds
+	// tuple id + 1 (0 = empty); dedupHash caches the full-tuple hash for
+	// cheap rejects and rehashing.
+	dedupHash []uint64
+	dedupSlot []int32
+
+	// indexes is an immutable snapshot of the column indexes, swapped
+	// atomically when an index is added so lock-free readers never observe
+	// a map mutation. The set is tiny (one entry per distinct bound-column
+	// mask), so lookup is a linear scan.
+	indexes atomic.Pointer[indexSet]
+	// mu serializes index creation and lazy extension for out-of-band
+	// callers (MatchIDs on a stale relation); the evaluation hot path never
+	// takes it.
 	mu sync.Mutex
 }
 
-// colIndex is a hash index from the encoded values of a fixed set of columns
-// to the ids of tuples carrying those values. built records how many tuples
-// have been incorporated, so the index can be extended incrementally as the
-// relation grows.
+// indexSet is an immutable (mask → index) association list.
+type indexSet struct {
+	masks []uint64
+	idxs  []*colIndex
+}
+
+func (s *indexSet) find(mask uint64) *colIndex {
+	for i, m := range s.masks {
+		if m == mask {
+			return s.idxs[i]
+		}
+	}
+	return nil
+}
+
+// colIndex is a hash index over a fixed set of columns. Each distinct
+// projected key owns one table slot holding the first and last tuple id
+// carrying that key; tuples sharing a key are chained in insertion order
+// through next. built records how many tuples have been incorporated, so
+// the index extends incrementally as the relation grows.
 type colIndex struct {
-	cols  []int
-	m     map[string][]int32
-	built int
+	cols   []int
+	hashes []uint64
+	heads  []int32 // tuple id + 1; 0 = empty slot
+	tails  []int32 // tuple id + 1 of the chain tail
+	keys   int     // number of distinct keys
+	next   []int32 // next[id] = next tuple id with the same key, -1 = end
+	built  int
 }
 
 func newRelation(arity int) *Relation {
-	return &Relation{
-		arity:   arity,
-		byKey:   make(map[string]int32),
-		indexes: make(map[uint64]*colIndex),
-	}
+	return &Relation{arity: arity}
 }
 
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return len(r.rounds) }
 
-// Tuple returns the i-th tuple. The returned slice is owned by the relation
-// and must not be modified.
-func (r *Relation) Tuple(i int) []ast.Const { return r.tuples[i] }
+// Tuple returns the i-th tuple as a view into the arena. The returned slice
+// is owned by the relation and must not be modified.
+func (r *Relation) Tuple(i int) []ast.Const {
+	return r.data[i*r.arity : (i+1)*r.arity : (i+1)*r.arity]
+}
 
 // RoundOf returns the round stamp of the i-th tuple.
 func (r *Relation) RoundOf(i int) int32 { return r.rounds[i] }
+
+// Tuple hashing: one multiply-xorshift mix per constant (splitmix64-style),
+// finalized with a single avalanche. hashValues over a projected key and
+// hashProj over the same columns of an arena tuple agree by construction.
+
+const hashSeed = 0x9E3779B97F4A7C15
+
+func mixConst(h uint64, c ast.Const) uint64 {
+	x := uint64(c)
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	x *= 0x94D049BB133111EB
+	return (h ^ x) * 0x100000001B3
+}
+
+func hashValues(vals []ast.Const) uint64 {
+	h := uint64(hashSeed)
+	for _, v := range vals {
+		h = mixConst(h, v)
+	}
+	return h ^ h>>32
+}
+
+func (r *Relation) hashProj(id int32, cols []int) uint64 {
+	base := int(id) * r.arity
+	h := uint64(hashSeed)
+	for _, c := range cols {
+		h = mixConst(h, r.data[base+c])
+	}
+	return h ^ h>>32
+}
+
+func (r *Relation) tupleEqual(id int32, args []ast.Const) bool {
+	base := int(id) * r.arity
+	for j, v := range args {
+		if r.data[base+j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Relation) projEqual(id int32, cols []int, key []ast.Const) bool {
+	base := int(id) * r.arity
+	for j, c := range cols {
+		if r.data[base+c] != key[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Relation) projEqualTuples(a, b int32, cols []int) bool {
+	ba, bb := int(a)*r.arity, int(b)*r.arity
+	for _, c := range cols {
+		if r.data[ba+c] != r.data[bb+c] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupID probes the dedup table for a tuple equal to args.
+func (r *Relation) lookupID(args []ast.Const) (int32, bool) {
+	if len(r.dedupSlot) == 0 {
+		return 0, false
+	}
+	h := hashValues(args)
+	mask := uint64(len(r.dedupSlot) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := r.dedupSlot[i]
+		if s == 0 {
+			return 0, false
+		}
+		if r.dedupHash[i] == h && r.tupleEqual(s-1, args) {
+			return s - 1, true
+		}
+	}
+}
+
+// LookupID returns the id of the tuple equal to args, if present. It is the
+// zero-allocation fully-bound probe used by the join kernel.
+func (r *Relation) LookupID(args []ast.Const) (int32, bool) {
+	if len(args) != r.arity {
+		return 0, false
+	}
+	return r.lookupID(args)
+}
 
 func (r *Relation) insert(args []ast.Const, round int32) bool {
 	if len(args) != r.arity {
 		panic("db: tuple arity mismatch")
 	}
-	key := encodeKey(args)
-	if _, ok := r.byKey[key]; ok {
-		return false
+	if 4*(len(r.rounds)+1) > 3*len(r.dedupSlot) {
+		r.growDedup()
 	}
-	t := make([]ast.Const, len(args))
-	copy(t, args)
-	id := int32(len(r.tuples))
-	r.tuples = append(r.tuples, t)
+	h := hashValues(args)
+	mask := uint64(len(r.dedupSlot) - 1)
+	i := h & mask
+	for {
+		s := r.dedupSlot[i]
+		if s == 0 {
+			break
+		}
+		if r.dedupHash[i] == h && r.tupleEqual(s-1, args) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	id := int32(len(r.rounds))
+	r.data = append(r.data, args...)
 	r.rounds = append(r.rounds, round)
-	r.byKey[key] = id
+	r.dedupHash[i] = h
+	r.dedupSlot[i] = id + 1
 	return true
 }
 
-func (r *Relation) clone() *Relation {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := newRelation(r.arity)
-	c.tuples = make([][]ast.Const, len(r.tuples))
-	for i, t := range r.tuples {
-		tt := make([]ast.Const, len(t))
-		copy(tt, t)
-		c.tuples[i] = tt
+func (r *Relation) growDedup() {
+	n := 2 * len(r.dedupSlot)
+	if n < 16 {
+		n = 16
 	}
-	c.rounds = make([]int32, len(r.rounds))
-	copy(c.rounds, r.rounds)
-	for k, v := range r.byKey {
-		c.byKey[k] = v
+	hashes := make([]uint64, n)
+	slots := make([]int32, n)
+	mask := uint64(n - 1)
+	for i, s := range r.dedupSlot {
+		if s == 0 {
+			continue
+		}
+		h := r.dedupHash[i]
+		j := h & mask
+		for slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		hashes[j] = h
+		slots[j] = s
+	}
+	r.dedupHash = hashes
+	r.dedupSlot = slots
+}
+
+// clone deep-copies the relation, index state included: the arena, round
+// stamps and dedup table are flat slices (one memcpy each), and carrying the
+// column indexes over spares clone-heavy callers (minimize, chase, equivopt)
+// from rebuilding them on the first probe of every copy.
+func (r *Relation) clone() *Relation {
+	c := &Relation{arity: r.arity}
+	c.data = append([]ast.Const(nil), r.data...)
+	c.rounds = append([]int32(nil), r.rounds...)
+	c.dedupHash = append([]uint64(nil), r.dedupHash...)
+	c.dedupSlot = append([]int32(nil), r.dedupSlot...)
+	if set := r.indexes.Load(); set != nil {
+		ns := &indexSet{masks: append([]uint64(nil), set.masks...)}
+		ns.idxs = make([]*colIndex, len(set.idxs))
+		for i, ix := range set.idxs {
+			ns.idxs[i] = ix.clone()
+		}
+		c.indexes.Store(ns)
 	}
 	return c
 }
 
-// colMask packs a sorted column set into a bitmask identifying an index.
-func colMask(cols []int) uint64 {
+func (ix *colIndex) clone() *colIndex {
+	return &colIndex{
+		cols:   append([]int(nil), ix.cols...),
+		hashes: append([]uint64(nil), ix.hashes...),
+		heads:  append([]int32(nil), ix.heads...),
+		tails:  append([]int32(nil), ix.tails...),
+		keys:   ix.keys,
+		next:   append([]int32(nil), ix.next...),
+		built:  ix.built,
+	}
+}
+
+// ColMask packs a column set into a bitmask identifying an index.
+func ColMask(cols []int) uint64 {
 	var mask uint64
 	for _, c := range cols {
 		mask |= 1 << uint(c)
@@ -97,64 +274,169 @@ func colMask(cols []int) uint64 {
 	return mask
 }
 
+// extend incorporates tuples [built, r.Len()) into the index.
+func (ix *colIndex) extend(r *Relation) {
+	n := r.Len()
+	for ix.built < n {
+		if 4*(ix.keys+1) > 3*len(ix.heads) {
+			ix.grow()
+		}
+		id := int32(ix.built)
+		h := r.hashProj(id, ix.cols)
+		mask := uint64(len(ix.heads) - 1)
+		i := h & mask
+		for {
+			head := ix.heads[i]
+			if head == 0 {
+				ix.hashes[i] = h
+				ix.heads[i] = id + 1
+				ix.tails[i] = id + 1
+				ix.keys++
+				break
+			}
+			if ix.hashes[i] == h && r.projEqualTuples(head-1, id, ix.cols) {
+				ix.next[ix.tails[i]-1] = id
+				ix.tails[i] = id + 1
+				break
+			}
+			i = (i + 1) & mask
+		}
+		ix.next = append(ix.next, -1)
+		ix.built++
+	}
+}
+
+func (ix *colIndex) grow() {
+	n := 2 * len(ix.heads)
+	if n < 16 {
+		n = 16
+	}
+	hashes := make([]uint64, n)
+	heads := make([]int32, n)
+	tails := make([]int32, n)
+	mask := uint64(n - 1)
+	for i, hd := range ix.heads {
+		if hd == 0 {
+			continue
+		}
+		h := ix.hashes[i]
+		j := h & mask
+		for heads[j] != 0 {
+			j = (j + 1) & mask
+		}
+		hashes[j] = h
+		heads[j] = hd
+		tails[j] = ix.tails[i]
+	}
+	ix.hashes, ix.heads, ix.tails = hashes, heads, tails
+}
+
+// findHead returns the id of the first tuple whose projection onto ix.cols
+// equals key, or -1.
+func (ix *colIndex) findHead(r *Relation, key []ast.Const) int32 {
+	if ix.keys == 0 {
+		return -1
+	}
+	h := hashValues(key)
+	mask := uint64(len(ix.heads) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		head := ix.heads[i]
+		if head == 0 {
+			return -1
+		}
+		if ix.hashes[i] == h && r.projEqual(head-1, ix.cols, key) {
+			return head - 1
+		}
+	}
+}
+
+// TupleIter walks the ids of tuples sharing one projected key, oldest
+// first. It is a value type: probing allocates nothing.
+type TupleIter struct {
+	next  []int32
+	cur   int32
+	limit int32 // ids ≥ limit were inserted after the probe; excluded
+}
+
+// Next returns the next matching tuple id.
+func (it *TupleIter) Next() (int32, bool) {
+	id := it.cur
+	if id < 0 || id >= it.limit {
+		return 0, false
+	}
+	it.cur = it.next[id]
+	return id, true
+}
+
+// EnsureIndex builds (or extends to cover all current tuples) the hash
+// index over the given column set. eval's round-boundary freeze step calls
+// this so that every probe during the round is a pure lock-free read.
+func (r *Relation) EnsureIndex(cols []int) {
+	if len(cols) == 0 {
+		return
+	}
+	r.ensureIndexLocked(ColMask(cols), cols)
+}
+
+func (r *Relation) ensureIndexLocked(mask uint64, cols []int) *colIndex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.indexes.Load()
+	var ix *colIndex
+	if set != nil {
+		ix = set.find(mask)
+	}
+	if ix == nil {
+		cc := make([]int, len(cols))
+		copy(cc, cols)
+		ix = &colIndex{cols: cc}
+		ns := &indexSet{}
+		if set != nil {
+			ns.masks = append(ns.masks, set.masks...)
+			ns.idxs = append(ns.idxs, set.idxs...)
+		}
+		ns.masks = append(ns.masks, mask)
+		ns.idxs = append(ns.idxs, ix)
+		ix.extend(r)
+		r.indexes.Store(ns)
+		return ix
+	}
+	ix.extend(r)
+	return ix
+}
+
+// ProbeIter returns an iterator over the ids of tuples whose value at each
+// position cols[i] equals key[i], oldest first. cols must be sorted and
+// duplicate-free. maxRound is the upper bound of the caller's round window:
+// when every unindexed tuple is newer than maxRound (the invariant eval's
+// freeze step establishes for in-round probes, since round stamps are
+// non-decreasing) the probe is a lock-free read; otherwise the index is
+// extended under the relation lock first.
+func (r *Relation) ProbeIter(cols []int, key []ast.Const, maxRound int32) TupleIter {
+	mask := ColMask(cols)
+	var ix *colIndex
+	if set := r.indexes.Load(); set != nil {
+		ix = set.find(mask)
+	}
+	if ix == nil || (ix.built < len(r.rounds) && r.rounds[ix.built] <= maxRound) {
+		ix = r.ensureIndexLocked(mask, cols)
+	}
+	head := ix.findHead(r, key)
+	return TupleIter{next: ix.next, cur: head, limit: int32(ix.built)}
+}
+
 // MatchIDs returns the ids of tuples whose value at each position cols[i]
 // equals key[i]. cols must be sorted and contain no duplicates. With empty
-// cols it returns nil and the caller should scan all tuples (ScanAll). The
-// lookup builds (or extends) a hash index on the column set on first use.
+// cols it returns nil and the caller should scan all tuples. It allocates
+// the result slice; the join kernel uses ProbeIter/LookupID instead.
 func (r *Relation) MatchIDs(cols []int, key []ast.Const) []int32 {
 	if len(cols) == 0 {
 		return nil
 	}
-	mask := colMask(cols)
-	r.mu.Lock()
-	idx, ok := r.indexes[mask]
-	if !ok {
-		cc := make([]int, len(cols))
-		copy(cc, cols)
-		idx = &colIndex{cols: cc, m: make(map[string][]int32)}
-		r.indexes[mask] = idx
+	it := r.ProbeIter(cols, key, math.MaxInt32)
+	var ids []int32
+	for id, ok := it.Next(); ok; id, ok = it.Next() {
+		ids = append(ids, id)
 	}
-	// Extend the index over tuples inserted since the last use.
-	for ; idx.built < len(r.tuples); idx.built++ {
-		t := r.tuples[idx.built]
-		k := encodeProjection(t, idx.cols)
-		idx.m[k] = append(idx.m[k], int32(idx.built))
-	}
-	ids := idx.m[encodeProjection2(key)]
-	r.mu.Unlock()
 	return ids
-}
-
-// encodeProjection encodes the values of the given columns of a tuple.
-func encodeProjection(t []ast.Const, cols []int) string {
-	buf := make([]byte, 0, 8*len(cols))
-	for _, c := range cols {
-		buf = appendConst(buf, t[c])
-	}
-	return string(buf)
-}
-
-// encodeProjection2 encodes an already-projected key.
-func encodeProjection2(key []ast.Const) string {
-	buf := make([]byte, 0, 8*len(key))
-	for _, v := range key {
-		buf = appendConst(buf, v)
-	}
-	return string(buf)
-}
-
-// encodeKey encodes a whole tuple for the dedup map.
-func encodeKey(args []ast.Const) string {
-	buf := make([]byte, 0, 8*len(args))
-	for _, v := range args {
-		buf = appendConst(buf, v)
-	}
-	return string(buf)
-}
-
-func appendConst(buf []byte, c ast.Const) []byte {
-	v := uint64(c)
-	return append(buf,
-		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
-		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }

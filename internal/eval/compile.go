@@ -105,16 +105,19 @@ func newFrame(cr *compiledRule) *frame {
 // passing each successful head instantiation to emit (which reports
 // whether the fact was new). It mirrors fireConstraints; the emit
 // indirection lets the parallel evaluator collect derivations into local
-// buffers instead of inserting immediately.
-func (cr *compiledRule) fire(d *db.Database, windows []db.RoundWindow, stats *Stats, emit func(pred string, args []ast.Const) bool) {
+// buffers instead of inserting immediately. A non-nil stop is polled after
+// every new emission and aborts the enumeration when it reports true — the
+// hook the derived-fact budget uses to halt mid-round.
+func (cr *compiledRule) fire(d *db.Database, windows []db.RoundWindow, stats *Stats, emit func(pred string, args []ast.Const) bool, stop func() bool) {
 	f := newFrame(cr)
 	for i := range f.vals {
 		f.vals[i] = unset
 	}
-	cr.join(d, windows, 0, f, stats, emit)
+	cr.join(d, windows, 0, f, stats, emit, stop)
 }
 
-func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, f *frame, stats *Stats, emit func(string, []ast.Const) bool) {
+// join returns false when the enumeration was aborted by stop.
+func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, f *frame, stats *Stats, emit func(string, []ast.Const) bool, stop func() bool) bool {
 	if pos == len(cr.body) {
 		// Negated literals: all slots bound by safety.
 		for _, n := range cr.neg {
@@ -127,7 +130,7 @@ func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, 
 				}
 			}
 			if d.HasTuple(n.pred, args) {
-				return
+				return true
 			}
 		}
 		stats.Firings++
@@ -141,19 +144,22 @@ func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, 
 		}
 		if emit(cr.head.pred, args) {
 			stats.Added++
+			if stop != nil && stop() {
+				return false
+			}
 		}
-		return
+		return true
 	}
 
 	a := cr.body[pos]
 	rel := d.Relation(a.pred)
 	if rel == nil || rel.Arity() != len(a.args) {
-		return
+		return true
 	}
 	w := windows[pos]
 
 	// Collect bound columns (constants and already-bound slots). The
-	// shared scratch is only used up to the MatchIDs call below, so deeper
+	// shared scratch is only used up to the probe below, so deeper
 	// recursion levels may freely reuse it.
 	f.cols = f.cols[:0]
 	f.key = f.key[:0]
@@ -167,16 +173,9 @@ func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, 
 		}
 	}
 
-	// Candidate ids: indexed lookup when anything is bound, scan otherwise.
-	var ids []int32
-	scanAll := len(f.cols) == 0
-	if !scanAll {
-		ids = rel.MatchIDs(f.cols, f.key)
-	}
-
-	try := func(id int32) {
+	try := func(id int32) bool {
 		if !w.Contains(rel.RoundOf(int(id))) {
-			return
+			return true
 		}
 		tuple := rel.Tuple(int(id))
 		var boundArr [16]int
@@ -200,22 +199,38 @@ func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, 
 			f.vals[s] = tuple[i]
 			boundSlots = append(boundSlots, s)
 		}
+		cont := true
 		if ok {
-			cr.join(d, windows, pos+1, f, stats, emit)
+			cont = cr.join(d, windows, pos+1, f, stats, emit, stop)
 		}
 		for _, s := range boundSlots {
 			f.vals[s] = unset
 		}
+		return cont
 	}
 
-	if scanAll {
+	switch {
+	case len(f.cols) == 0:
+		// Nothing bound: scan. The length is captured once; tuples inserted
+		// mid-scan carry the current round, which w excludes.
 		n := rel.Len()
 		for id := 0; id < n; id++ {
-			try(int32(id))
+			if !try(int32(id)) {
+				return false
+			}
 		}
-		return
+	case len(f.cols) == len(a.args):
+		// Fully bound: a single dedup-table probe, no index needed.
+		if id, ok := rel.LookupID(f.key); ok {
+			return try(id)
+		}
+	default:
+		it := rel.ProbeIter(f.cols, f.key, w.Max)
+		for id, ok := it.Next(); ok; id, ok = it.Next() {
+			if !try(id) {
+				return false
+			}
+		}
 	}
-	for _, id := range ids {
-		try(id)
-	}
+	return true
 }

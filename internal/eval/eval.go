@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/db"
@@ -178,31 +179,102 @@ func sccRuleGroups(p *ast.Program) [][]int {
 	return out
 }
 
+// indexNeed names one hash index a round's joins will probe: the bound
+// column set of one body atom under the rule's evaluation order.
+type indexNeed struct {
+	pred string
+	cols []int
+}
+
+// indexNeeds statically computes the (predicate, bound-column) pairs the
+// nested-loops joins over the given ordered rule bodies will probe: for
+// each body atom, the positions holding constants or variables bound by an
+// earlier atom. Fully-bound atoms probe the dedup table and unbound atoms
+// scan, so neither needs an index. Both the compiled and the generic
+// evaluator bind variables atom-by-atom in exactly this order, so the set
+// is exact — pre-building these indexes at round boundaries is what makes
+// every in-round probe a lock-free read.
+func indexNeeds(rules []ast.Rule) []indexNeed {
+	var out []indexNeed
+	seen := make(map[string]map[uint64]bool)
+	for _, r := range rules {
+		bound := make(map[string]bool)
+		for _, a := range r.Body {
+			var cols []int
+			for i, t := range a.Args {
+				if !t.IsVar || bound[t.Name] {
+					cols = append(cols, i)
+				}
+			}
+			if len(cols) > 0 && len(cols) < len(a.Args) {
+				mask := db.ColMask(cols)
+				if seen[a.Pred] == nil {
+					seen[a.Pred] = make(map[uint64]bool)
+				}
+				if !seen[a.Pred][mask] {
+					seen[a.Pred][mask] = true
+					out = append(out, indexNeed{pred: a.Pred, cols: cols})
+				}
+			}
+			for _, t := range a.Args {
+				if t.IsVar {
+					bound[t.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
 // fixpoint runs the chosen strategy over one set of rules whose heads are
 // the dynamic predicates, mutating d in place.
 func fixpoint(d *db.Database, rules []ast.Rule, dynamic map[string]bool, opts Options, stats *Stats, baseLen int) error {
-	// Prepare per-rule evaluation orders (and compiled forms) once.
 	ordered := make([]ast.Rule, len(rules))
 	compiled := make([]*compiledRule, len(rules))
+	var needs []indexNeed
 	sizeOf := func(pred string) int {
 		if rel := d.Relation(pred); rel != nil {
 			return rel.Len()
 		}
 		return 0
 	}
-	for i, r := range rules {
-		ordered[i] = r.Clone()
-		if !opts.NoReorder {
-			ordered[i].Body = db.OrderForJoinSized(r.Body, nil, sizeOf)
+	// prepare (re)orders rule bodies against the current relation sizes,
+	// recompiles them, and recomputes the index column sets the round's
+	// probes will need. It runs at every round boundary so the greedy
+	// join-order heuristic sees live cardinalities, not the sizes at
+	// stratum entry; under NoReorder the order is fixed, so only the first
+	// call does work.
+	prepared := false
+	prepare := func() {
+		if prepared && opts.NoReorder {
+			return
 		}
-		if !opts.NoCompile {
-			compiled[i] = compileRule(ordered[i])
+		for i, r := range rules {
+			ordered[i] = r.Clone()
+			if !opts.NoReorder {
+				ordered[i].Body = db.OrderForJoinSized(r.Body, nil, sizeOf)
+			}
+			if !opts.NoCompile {
+				compiled[i] = compileRule(ordered[i])
+			}
+		}
+		needs = indexNeeds(ordered)
+		prepared = true
+	}
+	// freeze builds or extends every index the round's joins will probe.
+	// Tuples inserted mid-round are stamped with the current round, which
+	// every window excludes, so the frozen indexes stay sufficient for the
+	// whole round and in-round probes never lock or mutate.
+	freeze := func() {
+		for _, n := range needs {
+			d.EnsureIndex(n.pred, n.cols)
 		}
 	}
-	// fireInto evaluates one variant with derivations routed to emit.
-	fireInto := func(idx int, windows []db.RoundWindow, st *Stats, emit func(string, []ast.Const) bool) error {
+	// fireInto evaluates one variant with derivations routed to emit; a
+	// non-nil stop aborts the variant's enumeration when it reports true.
+	fireInto := func(idx int, windows []db.RoundWindow, st *Stats, emit func(string, []ast.Const) bool, stop func() bool) error {
 		if compiled[idx] != nil {
-			compiled[idx].fire(d, windows, st, emit)
+			compiled[idx].fire(d, windows, st, emit, stop)
 			return nil
 		}
 		r := ordered[idx]
@@ -210,7 +282,10 @@ func fixpoint(d *db.Database, rules []ast.Rule, dynamic map[string]bool, opts Op
 		for j, b := range r.Body {
 			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
 		}
-		return fireConstraints(d, r, cs, st, emit)
+		return fireConstraints(d, r, cs, st, emit, stop)
+	}
+	budgetErr := func() error {
+		return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
 	}
 
 	type variant struct {
@@ -218,12 +293,39 @@ func fixpoint(d *db.Database, rules []ast.Rule, dynamic map[string]bool, opts Op
 		windows []db.RoundWindow
 	}
 	// runRound evaluates a round's variants, sequentially or in parallel.
+	// The derived-fact budget is enforced inside the emit path, so a round
+	// that would blow far past Options.MaxDerived (a chase embedding on a
+	// diverging instance, say) is cut off as soon as the budget is
+	// exhausted rather than after the round completes.
 	runRound := func(variants []variant) error {
 		if opts.Workers <= 1 || len(variants) < 2 {
-			emit := func(pred string, args []ast.Const) bool { return d.AddTuple(pred, args) }
+			stop := false
+			remaining := -1
+			if opts.MaxDerived > 0 {
+				remaining = opts.MaxDerived - (d.Len() - baseLen)
+			}
+			emit := func(pred string, args []ast.Const) bool {
+				if !d.AddTuple(pred, args) {
+					return false
+				}
+				if remaining >= 0 {
+					remaining--
+					if remaining < 0 {
+						stop = true
+					}
+				}
+				return true
+			}
+			var stopFn func() bool
+			if opts.MaxDerived > 0 {
+				stopFn = func() bool { return stop }
+			}
 			for _, v := range variants {
-				if err := fireInto(v.idx, v.windows, stats, emit); err != nil {
+				if err := fireInto(v.idx, v.windows, stats, emit, stopFn); err != nil {
 					return err
+				}
+				if stop {
+					return budgetErr()
 				}
 			}
 			return nil
@@ -232,48 +334,76 @@ func fixpoint(d *db.Database, rules []ast.Rule, dynamic map[string]bool, opts Op
 			pred string
 			args []ast.Const
 		}
-		buffers := make([][]pending, len(variants))
-		statsArr := make([]Stats, len(variants))
-		errs := make([]error, len(variants))
-		sem := make(chan struct{}, opts.Workers)
-		var wg sync.WaitGroup
-		for vi := range variants {
-			wg.Add(1)
-			go func(vi int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				v := variants[vi]
-				emit := func(pred string, args []ast.Const) bool {
-					if d.HasTuple(pred, args) {
-						return false
+		// Parallel: fire variants concurrently into per-variant buffers and
+		// merge after the round. The budget tripwire counts tentative
+		// emissions (each variant dedups against the frozen database but
+		// not against its peers), so it can only overcount; when it trips
+		// without the merged total actually exceeding the budget, the
+		// truncated round is re-fired — already-merged facts then dedup at
+		// emit time, so every re-fire either completes the round or strictly
+		// grows the database until the budget genuinely runs out.
+		var tentative atomic.Int64
+		var tripped atomic.Bool
+		var stopFn func() bool
+		if opts.MaxDerived > 0 {
+			stopFn = func() bool { return tripped.Load() }
+		}
+		for {
+			tentative.Store(int64(d.Len() - baseLen))
+			tripped.Store(false)
+			buffers := make([][]pending, len(variants))
+			statsArr := make([]Stats, len(variants))
+			errs := make([]error, len(variants))
+			sem := make(chan struct{}, opts.Workers)
+			var wg sync.WaitGroup
+			for vi := range variants {
+				wg.Add(1)
+				go func(vi int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					v := variants[vi]
+					emit := func(pred string, args []ast.Const) bool {
+						if d.HasTuple(pred, args) {
+							return false
+						}
+						cp := make([]ast.Const, len(args))
+						copy(cp, args)
+						buffers[vi] = append(buffers[vi], pending{pred: pred, args: cp})
+						if opts.MaxDerived > 0 && tentative.Add(1) > int64(opts.MaxDerived) {
+							tripped.Store(true)
+						}
+						return true // tentatively new; merge dedups across variants
 					}
-					cp := make([]ast.Const, len(args))
-					copy(cp, args)
-					buffers[vi] = append(buffers[vi], pending{pred: pred, args: cp})
-					return true // tentatively new; merge dedups across variants
-				}
-				errs[vi] = fireInto(v.idx, v.windows, &statsArr[vi], emit)
-			}(vi)
-		}
-		wg.Wait()
-		for vi := range variants {
-			if errs[vi] != nil {
-				return errs[vi]
+					errs[vi] = fireInto(v.idx, v.windows, &statsArr[vi], emit, stopFn)
+				}(vi)
 			}
-			stats.Firings += statsArr[vi].Firings
-			for _, pf := range buffers[vi] {
-				if d.AddTuple(pf.pred, pf.args) {
-					stats.Added++
+			wg.Wait()
+			for vi := range variants {
+				if errs[vi] != nil {
+					return errs[vi]
+				}
+				stats.Firings += statsArr[vi].Firings
+				for _, pf := range buffers[vi] {
+					if d.AddTuple(pf.pred, pf.args) {
+						stats.Added++
+					}
 				}
 			}
+			if !tripped.Load() {
+				return nil
+			}
+			if d.Len()-baseLen > opts.MaxDerived {
+				return budgetErr()
+			}
 		}
-		return nil
 	}
 
 	prevTop := d.Round() // facts present before this stratum: rounds ≤ prevTop
 	round := d.BeginRound()
 	stats.Rounds++
+	prepare()
+	freeze()
 
 	// First iteration: full application of every rule.
 	var firstRound []variant
@@ -294,6 +424,8 @@ func fixpoint(d *db.Database, rules []ast.Rule, dynamic map[string]bool, opts Op
 		prev := round
 		round = d.BeginRound()
 		stats.Rounds++
+		prepare() // re-order joins against this round's cardinalities
+		freeze()
 		var variants []variant
 		for idx := range ordered {
 			r := ordered[idx]
@@ -355,7 +487,7 @@ func deltaWindows(n, i int, prev int32) []db.RoundWindow {
 	return ws
 }
 
-func fireConstraints(d *db.Database, r ast.Rule, cs []db.Constraint, stats *Stats, emit func(string, []ast.Const) bool) error {
+func fireConstraints(d *db.Database, r ast.Rule, cs []db.Constraint, stats *Stats, emit func(string, []ast.Const) bool, stop func() bool) error {
 	b := ast.Binding{}
 	var firingErr error
 	db.MatchSeq(d, cs, b, func() bool {
@@ -380,6 +512,9 @@ func fireConstraints(d *db.Database, r ast.Rule, cs []db.Constraint, stats *Stat
 		}
 		if emit(h.Pred, h.Args) {
 			stats.Added++
+			if stop != nil && stop() {
+				return false
+			}
 		}
 		return true
 	})

@@ -201,6 +201,80 @@ func TestBudgetExceeded(t *testing.T) {
 	}
 }
 
+// TestBudgetEnforcedWithinRound is the regression test for the budget
+// overshoot bug: a single round deriving a large cross product used to be
+// checked only after the round completed, so a chase embedding could blow
+// far past MaxDerived before evaluation noticed. The budget is now enforced
+// inside the emit path, so evaluation stops as soon as it is exhausted.
+func TestBudgetEnforcedWithinRound(t *testing.T) {
+	// P(x, y) :- A(x), A(y) derives n² facts in its first round.
+	p := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("P", ast.Var("x"), ast.Var("y")),
+		ast.NewAtom("A", ast.Var("x")),
+		ast.NewAtom("A", ast.Var("y")),
+	))
+	edb := db.New()
+	for i := 0; i < 100; i++ {
+		edb.Add(ga("A", int64(i)))
+	}
+	const budget = 10
+	_, stats, err := Eval(p, edb, Options{MaxDerived: budget})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// The round would derive 10000 facts; enforcement in the emit path must
+	// stop at the first fact past the budget, not at the end of the round.
+	if stats.Added > budget+1 {
+		t.Fatalf("derived %d facts within the round, budget %d: overshoot not bounded", stats.Added, budget)
+	}
+	// Same enforcement through the generic (NoCompile) matcher.
+	_, stats, err = Eval(p, edb, Options{MaxDerived: budget, NoCompile: true})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("NoCompile err = %v, want ErrBudget", err)
+	}
+	if stats.Added > budget+1 {
+		t.Fatalf("NoCompile derived %d facts, budget %d", stats.Added, budget)
+	}
+	// And through Incremental's delta loop: closing over the new A facts
+	// derives the same cross product in one delta round.
+	out := MustEval(p, db.New())
+	var facts []ast.GroundAtom
+	for i := 0; i < 100; i++ {
+		facts = append(facts, ga("A", int64(i)))
+	}
+	_, stats, err = Incremental(p, out, facts, Options{MaxDerived: budget})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("Incremental err = %v, want ErrBudget", err)
+	}
+	if stats.Added > budget+1 {
+		t.Fatalf("Incremental derived %d facts, budget %d", stats.Added, budget)
+	}
+}
+
+// TestBudgetParallelStillErrs checks that the budget tripwire also fires on
+// the parallel path (the check there counts tentative derivations, so it
+// may stop slightly conservatively but must still return ErrBudget when the
+// budget is genuinely exceeded).
+func TestBudgetParallelStillErrs(t *testing.T) {
+	p := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("P", ast.Var("x"), ast.Var("y")),
+			ast.NewAtom("A", ast.Var("x")), ast.NewAtom("A", ast.Var("y"))),
+		ast.NewRule(ast.NewAtom("Q", ast.Var("x"), ast.Var("y")),
+			ast.NewAtom("A", ast.Var("x")), ast.NewAtom("A", ast.Var("y"))),
+	)
+	edb := db.New()
+	for i := 0; i < 100; i++ {
+		edb.Add(ga("A", int64(i)))
+	}
+	_, stats, err := Eval(p, edb, Options{MaxDerived: 10, Workers: 4})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if stats.Added > 20000 {
+		t.Fatalf("parallel budget did not bound the round: %d facts", stats.Added)
+	}
+}
+
 func TestIsModel(t *testing.T) {
 	p := tcProgram()
 	// The Example 2 output is a model; the bare EDB is not.

@@ -63,10 +63,34 @@ func deltaLoop(d *db.Database, rules []ast.Rule, opts Options, stats *Stats) err
 			compiled[i] = compileRule(ordered[i])
 		}
 	}
-	emit := func(pred string, args []ast.Const) bool { return d.AddTuple(pred, args) }
+	needs := indexNeeds(ordered)
+	baseLen := d.Len()
+	// The budget is enforced inside the emit path (as in fixpoint), so a
+	// single diverging round cannot blow far past MaxDerived.
+	stop := false
+	remaining := -1
+	if opts.MaxDerived > 0 {
+		remaining = opts.MaxDerived
+	}
+	emit := func(pred string, args []ast.Const) bool {
+		if !d.AddTuple(pred, args) {
+			return false
+		}
+		if remaining >= 0 {
+			remaining--
+			if remaining < 0 {
+				stop = true
+			}
+		}
+		return true
+	}
+	var stopFn func() bool
+	if opts.MaxDerived > 0 {
+		stopFn = func() bool { return stop }
+	}
 	fire := func(idx int, windows []db.RoundWindow) error {
 		if compiled[idx] != nil {
-			compiled[idx].fire(d, windows, stats, emit)
+			compiled[idx].fire(d, windows, stats, emit, stopFn)
 			return nil
 		}
 		r := ordered[idx]
@@ -74,13 +98,16 @@ func deltaLoop(d *db.Database, rules []ast.Rule, opts Options, stats *Stats) err
 		for j, b := range r.Body {
 			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
 		}
-		return fireConstraints(d, r, cs, stats, emit)
+		return fireConstraints(d, r, cs, stats, emit, stopFn)
 	}
-	baseLen := d.Len()
 	for {
 		prev := d.Round()
 		round := d.BeginRound()
 		stats.Rounds++
+		// Freeze the round's indexes so in-round probes are lock-free reads.
+		for _, n := range needs {
+			d.EnsureIndex(n.pred, n.cols)
+		}
 		for idx := range ordered {
 			// Any atom can match an inserted fact (insertions may be
 			// extensional), so the delta position ranges over the whole
@@ -89,10 +116,10 @@ func deltaLoop(d *db.Database, rules []ast.Rule, opts Options, stats *Stats) err
 				if err := fire(idx, deltaWindows(len(ordered[idx].Body), i, prev)); err != nil {
 					return err
 				}
+				if stop {
+					return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
+				}
 			}
-		}
-		if opts.MaxDerived > 0 && d.Len()-baseLen > opts.MaxDerived {
-			return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
 		}
 		if !anyAddedIn(d, round) {
 			return nil
