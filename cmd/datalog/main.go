@@ -181,11 +181,21 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ok12, _, err := chase.UniformlyContains(p1, p2)
+		// One containment session per side: each Checker prepares its
+		// program once and reuses it for every frozen-rule test.
+		ck1, err := chase.NewChecker(p1)
 		if err != nil {
 			return err
 		}
-		ok21, _, err := chase.UniformlyContains(p2, p1)
+		ok12, _, err := ck1.Contains(p2)
+		if err != nil {
+			return err
+		}
+		ck2, err := chase.NewChecker(p2)
+		if err != nil {
+			return err
+		}
+		ok21, _, err := ck2.Contains(p1)
 		if err != nil {
 			return err
 		}
@@ -200,7 +210,11 @@ func run(args []string, out io.Writer) error {
 		if len(res.TGDs) == 0 {
 			return fmt.Errorf("check: the file declares no tgds")
 		}
-		outDB, _, err := eval.Eval(res.Program, db.FromFacts(res.Facts), opts)
+		prep, err := eval.Prepare(res.Program, opts)
+		if err != nil {
+			return err
+		}
+		outDB, _, err := prep.Eval(db.FromFacts(res.Facts))
 		if err != nil {
 			return err
 		}

@@ -24,7 +24,28 @@ type session struct {
 	tgds    []ast.TGD
 	syms    *ast.SymbolTable
 	out     io.Writer
+	// prep caches the prepared form of program so that consecutive queries
+	// (?-, :eval, :stats) reuse one schedule/compile; any mutation of the
+	// program clears it via invalidate.
+	prep *eval.Prepared
 }
+
+// prepared returns the session's prepared program, building it on first use
+// after a mutation.
+func (s *session) prepared() (*eval.Prepared, error) {
+	if s.prep == nil {
+		pr, err := eval.Prepare(s.program, eval.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.prep = pr
+	}
+	return s.prep, nil
+}
+
+// invalidate drops the cached prepared program; called whenever the
+// session's program changes.
+func (s *session) invalidate() { s.prep = nil }
 
 // repl runs the interactive loop: plain lines are parsed as rules, facts or
 // tgds and added to the session; lines starting with "?-" are queries;
@@ -76,6 +97,7 @@ func (s *session) addStatements(src string) error {
 		return err
 	}
 	s.program = trial
+	s.invalidate()
 	s.facts = append(s.facts, res.Facts...)
 	s.tgds = append(s.tgds, res.TGDs...)
 	n := len(res.Program.Rules) + len(res.Facts) + len(res.TGDs)
@@ -89,7 +111,11 @@ func (s *session) query(atomSrc string) error {
 	if err != nil {
 		return err
 	}
-	tuples, err := eval.Query(s.program, db.FromFacts(s.facts), q, eval.Options{})
+	prep, err := s.prepared()
+	if err != nil {
+		return err
+	}
+	tuples, err := prep.Query(db.FromFacts(s.facts), q)
 	if err != nil {
 		return err
 	}
@@ -133,7 +159,11 @@ commands:     :show                   print the session's program/facts/tgds
 		return nil
 
 	case ":eval":
-		out, st, err := eval.Eval(s.program, db.FromFacts(s.facts), eval.Options{})
+		prep, err := s.prepared()
+		if err != nil {
+			return err
+		}
+		out, st, err := prep.Eval(db.FromFacts(s.facts))
 		if err != nil {
 			return err
 		}
@@ -147,6 +177,7 @@ commands:     :show                   print the session's program/facts/tgds
 			return err
 		}
 		s.program = min
+		s.invalidate()
 		fmt.Fprint(s.out, min.Format(s.syms))
 		fmt.Fprintf(s.out, "%% removed %d atoms, %d rules\n", trace.AtomsRemoved(), trace.RulesRemoved())
 		return nil
@@ -157,6 +188,7 @@ commands:     :show                   print the session's program/facts/tgds
 			return err
 		}
 		s.program = opt
+		s.invalidate()
 		fmt.Fprint(s.out, opt.Format(s.syms))
 		fmt.Fprintf(s.out, "%% %d removals under plain equivalence\n", len(removals))
 		return nil
@@ -204,7 +236,11 @@ commands:     :show                   print the session's program/facts/tgds
 		return nil
 
 	case ":stats":
-		out, _, err := eval.Eval(s.program, db.FromFacts(s.facts), eval.Options{})
+		prep, err := s.prepared()
+		if err != nil {
+			return err
+		}
+		out, _, err := prep.Eval(db.FromFacts(s.facts))
 		if err != nil {
 			return err
 		}
@@ -230,6 +266,7 @@ commands:     :show                   print the session's program/facts/tgds
 
 	case ":reset":
 		s.program = ast.NewProgram()
+		s.invalidate()
 		s.facts = nil
 		s.tgds = nil
 		s.syms = ast.NewSymbolTable()

@@ -86,29 +86,85 @@ func FreezeRule(r ast.Rule) (ast.GroundAtom, *db.Database) {
 	return head, d
 }
 
-// UniformlyContainsRule decides r ⊑ᵘ p for a single rule r: whether every
-// model of p is a model of r (Corollary 2). The test is exact and always
-// terminates; rules or programs using negation are rejected.
-func UniformlyContainsRule(p *ast.Program, r ast.Rule) (bool, error) {
-	if p.HasNegation() || r.HasNegation() {
+// Checker is a containment session: one containing program, prepared once,
+// serving many chase-based tests against it. It caches the prepared
+// evaluation schedule, the frozen head/body of every rule it has tested,
+// and — for the exact uniform-containment test — the per-rule verdicts, so
+// the Fig. 1/2 minimization loops pay for program analysis once per
+// candidate program instead of once per candidate atom. Every test
+// evaluates toward the frozen head as a goal and halts the moment it is
+// derived, rather than saturating the full fixpoint (Corollary 2 only asks
+// whether the head is derivable).
+//
+// A Checker is not safe for concurrent use (its memo tables are unlocked).
+type Checker struct {
+	prog     *ast.Program
+	prep     *eval.Prepared
+	verdicts map[string]bool
+	frozen   map[string]frozenRule
+}
+
+type frozenRule struct {
+	head ast.GroundAtom
+	body *db.Database
+}
+
+// NewChecker prepares p as the containing program of a session. Programs
+// using negation are rejected: the chase-based tests are defined for pure
+// Datalog (use StratifiedUniformlyContains for the encoded extension).
+func NewChecker(p *ast.Program) (*Checker, error) {
+	if p.HasNegation() {
+		return nil, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
+	}
+	prep, err := eval.Prepare(p, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Checker{
+		prog:     prep.Program(),
+		prep:     prep,
+		verdicts: make(map[string]bool),
+		frozen:   make(map[string]frozenRule),
+	}, nil
+}
+
+// frozenFor returns the cached frozen head and body of r. The body database
+// is shared across calls; every consumer clones before mutating (the
+// prepared evaluator clones its input, and chaseToGoal chases a clone).
+func (c *Checker) frozenFor(r ast.Rule) (ast.GroundAtom, *db.Database) {
+	key := r.String()
+	if f, ok := c.frozen[key]; ok {
+		return f.head, f.body
+	}
+	head, body := FreezeRule(r)
+	c.frozen[key] = frozenRule{head: head, body: body}
+	return head, body
+}
+
+// ContainsRule decides r ⊑ᵘ P for the session program P (Corollary 2),
+// memoizing the verdict per rule. The test is exact and always terminates.
+func (c *Checker) ContainsRule(r ast.Rule) (bool, error) {
+	if r.HasNegation() {
 		return false, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
 	}
-	head, d := FreezeRule(r)
-	out, _, err := eval.Eval(p, d, eval.Options{})
+	key := r.String()
+	if v, ok := c.verdicts[key]; ok {
+		return v, nil
+	}
+	head, body := c.frozenFor(r)
+	_, reached, _, err := c.prep.EvalGoal(body, &head, 0)
 	if err != nil {
 		return false, err
 	}
-	return out.Has(head), nil
+	c.verdicts[key] = reached
+	return reached, nil
 }
 
-// UniformlyContains decides P₂ ⊑ᵘ P₁ (p1 uniformly contains p2): for every
-// input DB over both programs' predicates, P₂'s output is contained in
-// P₁'s. By Proposition 2 this is M(P₁) ⊆ M(P₂), checked rule by rule. On
-// failure the index of the first rule of p2 not uniformly contained in p1
-// is returned as witness (-1 on success).
-func UniformlyContains(p1, p2 *ast.Program) (bool, int, error) {
+// Contains decides P₂ ⊑ᵘ P for the session program P, rule by rule, with
+// the same witness convention as UniformlyContains.
+func (c *Checker) Contains(p2 *ast.Program) (bool, int, error) {
 	for i, r := range p2.Rules {
-		ok, err := UniformlyContainsRule(p1, r)
+		ok, err := c.ContainsRule(r)
 		if err != nil {
 			return false, i, err
 		}
@@ -117,6 +173,37 @@ func UniformlyContains(p1, p2 *ast.Program) (bool, int, error) {
 		}
 	}
 	return true, -1, nil
+}
+
+// UniformlyContainsRule decides r ⊑ᵘ p for a single rule r: whether every
+// model of p is a model of r (Corollary 2). The test is exact and always
+// terminates; rules or programs using negation are rejected. It is the
+// one-shot form of Checker.ContainsRule.
+func UniformlyContainsRule(p *ast.Program, r ast.Rule) (bool, error) {
+	if p.HasNegation() || r.HasNegation() {
+		return false, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
+	}
+	c, err := NewChecker(p)
+	if err != nil {
+		return false, err
+	}
+	return c.ContainsRule(r)
+}
+
+// UniformlyContains decides P₂ ⊑ᵘ P₁ (p1 uniformly contains p2): for every
+// input DB over both programs' predicates, P₂'s output is contained in
+// P₁'s. By Proposition 2 this is M(P₁) ⊆ M(P₂), checked rule by rule. On
+// failure the index of the first rule of p2 not uniformly contained in p1
+// is returned as witness (-1 on success).
+func UniformlyContains(p1, p2 *ast.Program) (bool, int, error) {
+	if len(p2.Rules) == 0 {
+		return true, -1, nil
+	}
+	c, err := NewChecker(p1)
+	if err != nil {
+		return false, 0, err
+	}
+	return c.Contains(p2)
 }
 
 // UniformlyEquivalent decides P₁ ≡ᵘ P₂.
@@ -134,7 +221,10 @@ type Result struct {
 	// DB is the chase database when the chase completed (fixpoint reached)
 	// or the partial database when the budget ran out.
 	DB *db.Database
-	// Complete reports whether a fixpoint was reached within budget.
+	// Complete reports whether DB is a [P, T] fixpoint: closed under the
+	// program's rules with every tgd satisfied. A goal-directed chase that
+	// stops early still reports Complete truthfully — true exactly when the
+	// partial database happens to be the fixpoint already.
 	Complete bool
 	// Rounds is the number of program/tgd alternations performed.
 	Rounds int
@@ -145,7 +235,17 @@ type Result struct {
 // nulls. The input database is not modified. When the budget runs out the
 // partial database is returned with Complete=false.
 func Apply(p *ast.Program, tgds []ast.TGD, d *db.Database, budget Budget) (Result, error) {
-	res, _, err := chaseToGoal(p, tgds, d, nil, budget)
+	c, err := NewChecker(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Apply(tgds, d, budget)
+}
+
+// Apply is the session form of the package-level Apply, reusing the
+// prepared program across the chase's Datalog rounds.
+func (c *Checker) Apply(tgds []ast.TGD, d *db.Database, budget Budget) (Result, error) {
+	res, _, err := c.chaseToGoal(tgds, d, nil, budget)
 	return res, err
 }
 
@@ -153,23 +253,23 @@ func Apply(p *ast.Program, tgds []ast.TGD, d *db.Database, budget Budget) (Resul
 // goal is derived. It returns the chase result plus the goal verdict: Yes if
 // the goal was derived, No if the chase completed without deriving it,
 // Unknown if the budget ran out first. With a nil goal the verdict is No on
-// completion and Unknown otherwise.
-func chaseToGoal(p *ast.Program, tgds []ast.TGD, d *db.Database, goal *ast.GroundAtom, budget Budget) (Result, Verdict, error) {
-	if p.HasNegation() {
-		return Result{}, Unknown, fmt.Errorf("chase: [P,T] chase requires a pure Datalog program")
-	}
+// completion and Unknown otherwise. The session's prepared program serves
+// every Datalog phase — one preparation for the whole chase, not one per
+// round — and pushes the goal into the evaluator's emit path, so a round
+// halts mid-join the moment the goal is derived.
+func (c *Checker) chaseToGoal(tgds []ast.TGD, d *db.Database, goal *ast.GroundAtom, budget Budget) (Result, Verdict, error) {
 	budget = budget.orDefault()
 	cur := d.Clone()
 	_, maxNull := cur.MaxGeneratedIndexes()
 	nullGen := ast.NewNullGen(maxNull + 1)
 
 	for round := 0; round < budget.MaxRounds; round++ {
-		// Datalog saturation phase.
+		// Datalog saturation phase, cut short if the goal shows up.
 		remaining := budget.MaxAtoms - cur.Len()
 		if remaining <= 0 {
 			return Result{DB: cur, Complete: false, Rounds: round}, Unknown, nil
 		}
-		out, _, err := eval.Eval(p, cur, eval.Options{MaxDerived: remaining})
+		out, reached, _, err := c.prep.EvalGoal(cur, goal, remaining)
 		if err != nil {
 			if isBudgetErr(err) {
 				return Result{DB: cur, Complete: false, Rounds: round}, Unknown, nil
@@ -177,15 +277,15 @@ func chaseToGoal(p *ast.Program, tgds []ast.TGD, d *db.Database, goal *ast.Groun
 			return Result{}, Unknown, err
 		}
 		cur = out
-		if goal != nil && cur.Has(*goal) {
-			return Result{DB: cur, Complete: false, Rounds: round + 1}, Yes, nil
+		if reached {
+			return Result{DB: cur, Complete: c.isFixpoint(cur, tgds), Rounds: round + 1}, Yes, nil
 		}
 
 		// Tgd phase: fire every violated instantiation found against the
 		// snapshot, re-checking before each firing (the restricted chase).
 		added := ApplyTGDRound(tgds, cur, nullGen)
 		if goal != nil && cur.Has(*goal) {
-			return Result{DB: cur, Complete: false, Rounds: round + 1}, Yes, nil
+			return Result{DB: cur, Complete: c.isFixpoint(cur, tgds), Rounds: round + 1}, Yes, nil
 		}
 		if added == 0 {
 			return Result{DB: cur, Complete: true, Rounds: round + 1}, No, nil
@@ -195,6 +295,37 @@ func chaseToGoal(p *ast.Program, tgds []ast.TGD, d *db.Database, goal *ast.Groun
 		}
 	}
 	return Result{DB: cur, Complete: false, Rounds: budget.MaxRounds}, Unknown, nil
+}
+
+// isFixpoint reports whether cur is already the [P, T] fixpoint: closed
+// under the session program's rules and satisfying every tgd. A chase that
+// found its goal stops with a partial database; this is what makes the
+// reported Complete flag truthful rather than a blanket false.
+func (c *Checker) isFixpoint(cur *db.Database, tgds []ast.TGD) bool {
+	if !c.prep.IsClosed(cur) {
+		return false
+	}
+	return tgdsSatisfied(cur, tgds)
+}
+
+// tgdsSatisfied reports whether every tgd holds in d: each grounding of a
+// LHS extends to a grounding of its RHS.
+func tgdsSatisfied(d *db.Database, tgds []ast.TGD) bool {
+	for _, t := range tgds {
+		ok := true
+		b := ast.Binding{}
+		db.MatchConjunction(d, t.Lhs, b, func() bool {
+			if !db.Satisfiable(d, t.Rhs, b) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 func isBudgetErr(err error) bool { return errors.Is(err, eval.ErrBudget) }
@@ -238,26 +369,40 @@ func ApplyTGDRound(tgds []ast.TGD, d *db.Database, nullGen *ast.ConstGen) int {
 	return added
 }
 
-// SATContainsRule decides SAT(T) ∩ M(p1) ⊆ M(r) for a single rule r by the
-// extended chase of Section VIII: freeze r's body, close it under [p1, T],
-// and look for the frozen head. Yes and No answers are exact; Unknown means
-// the budget ran out (possible only when T has embedded tgds).
+// SATContainsRule decides SAT(T) ∩ M(P) ⊆ M(r) for the session program P
+// and a single rule r by the extended chase of Section VIII: freeze r's
+// body, close it under [P, T], and look for the frozen head. Yes and No
+// answers are exact; Unknown means the budget ran out (possible only when T
+// has embedded tgds). The verdict is not memoized — it depends on the
+// budget — but the frozen body is reused from the session cache.
+func (c *Checker) SATContainsRule(tgds []ast.TGD, r ast.Rule, budget Budget) (Verdict, error) {
+	if r.HasNegation() {
+		return Unknown, fmt.Errorf("chase: rule %s uses negation", r)
+	}
+	head, d := c.frozenFor(r)
+	_, verdict, err := c.chaseToGoal(tgds, d, &head, budget)
+	return verdict, err
+}
+
+// SATContainsRule is the one-shot form of Checker.SATContainsRule.
 func SATContainsRule(p1 *ast.Program, tgds []ast.TGD, r ast.Rule, budget Budget) (Verdict, error) {
 	if r.HasNegation() {
 		return Unknown, fmt.Errorf("chase: rule %s uses negation", r)
 	}
-	head, d := FreezeRule(r)
-	_, verdict, err := chaseToGoal(p1, tgds, d, &head, budget)
-	return verdict, err
+	c, err := NewChecker(p1)
+	if err != nil {
+		return Unknown, err
+	}
+	return c.SATContainsRule(tgds, r, budget)
 }
 
-// SATModelsContained decides SAT(T) ∩ M(p1) ⊆ M(p2), rule by rule. A single
-// refuted rule refutes the whole containment; otherwise any budget-limited
-// rule makes the answer Unknown.
-func SATModelsContained(p1 *ast.Program, tgds []ast.TGD, p2 *ast.Program, budget Budget) (Verdict, error) {
+// SATModelsContained decides SAT(T) ∩ M(P) ⊆ M(p2) for the session program
+// P, rule by rule. A single refuted rule refutes the whole containment;
+// otherwise any budget-limited rule makes the answer Unknown.
+func (c *Checker) SATModelsContained(tgds []ast.TGD, p2 *ast.Program, budget Budget) (Verdict, error) {
 	sawUnknown := false
 	for _, r := range p2.Rules {
-		v, err := SATContainsRule(p1, tgds, r, budget)
+		v, err := c.SATContainsRule(tgds, r, budget)
 		if err != nil {
 			return Unknown, err
 		}
@@ -272,6 +417,18 @@ func SATModelsContained(p1 *ast.Program, tgds []ast.TGD, p2 *ast.Program, budget
 		return Unknown, nil
 	}
 	return Yes, nil
+}
+
+// SATModelsContained is the one-shot form of Checker.SATModelsContained.
+func SATModelsContained(p1 *ast.Program, tgds []ast.TGD, p2 *ast.Program, budget Budget) (Verdict, error) {
+	if len(p2.Rules) == 0 {
+		return Yes, nil
+	}
+	c, err := NewChecker(p1)
+	if err != nil {
+		return Unknown, err
+	}
+	return c.SATModelsContained(tgds, p2, budget)
 }
 
 // Certificate is a checkable witness of a positive uniform-containment
@@ -302,11 +459,17 @@ func StratifiedUniformlyContainsRule(p *ast.Program, r ast.Rule) (bool, error) {
 }
 
 // StratifiedUniformlyContains applies StratifiedUniformlyContainsRule to
-// every rule of p2.
+// every rule of p2, sharing one session over the encoded p1.
 func StratifiedUniformlyContains(p1, p2 *ast.Program) (bool, int, error) {
-	enc1 := encodeNegation(p1)
+	if len(p2.Rules) == 0 {
+		return true, -1, nil
+	}
+	c, err := NewChecker(encodeNegation(p1))
+	if err != nil {
+		return false, 0, err
+	}
 	for i, r := range p2.Rules {
-		ok, err := UniformlyContainsRule(enc1, encodeRuleNegation(r))
+		ok, err := c.ContainsRule(encodeRuleNegation(r))
 		if err != nil {
 			return false, i, err
 		}

@@ -5,10 +5,13 @@
 // (PODS 1987):
 //
 //   - Parse / ParseProgram / ParseTGD — the concrete Datalog syntax.
-//   - Eval / NonRecursive / PreliminaryDB — bottom-up computation
-//     (Section III) and the auxiliary operators of Sections IX–X.
-//   - UniformlyContains / UniformlyEquivalent — the decidable containment
-//     test of Section VI.
+//   - PrepareEval / Eval / NonRecursive / PreliminaryDB — bottom-up
+//     computation (Section III) and the auxiliary operators of
+//     Sections IX–X; PrepareEval caches a program's evaluation plan for
+//     repeated use.
+//   - NewContainmentChecker / UniformlyContains / UniformlyEquivalent —
+//     the decidable containment test of Section VI, as a reusable session
+//     or one-shot.
 //   - MinimizeRule / MinimizeProgram — the Figs. 1–2 minimization under
 //     uniform equivalence (Section VII).
 //   - ChaseApply / SATModelsContained — the combined [P,T] chase of
@@ -27,7 +30,8 @@
 //	    A(1, 2). A(2, 3).
 //	`)
 //	opt, removals, _ := core.EquivOptimize(res.Program, core.EquivOptions{})
-//	out, _, _ := core.Eval(opt, db.FromFacts(res.Facts), core.EvalOptions{})
+//	prep, _ := core.PrepareEval(opt, core.EvalOptions{})
+//	out, _, _ := prep.Eval(core.FromFacts(res.Facts))
 package core
 
 import (
@@ -86,6 +90,17 @@ type (
 	MagicRewritten = magic.Rewritten
 	// PreserveCounterexample witnesses a preservation failure.
 	PreserveCounterexample = preserve.Counterexample
+	// Prepared is a program prepared once for repeated evaluation: the
+	// dependence-graph schedule, compiled rules and index plans are cached
+	// and every Prepared.Eval reuses them.
+	Prepared = eval.Prepared
+	// ContainmentChecker is a uniform-containment session over a fixed
+	// containing program: one prepared program serves every rule test, with
+	// frozen bodies and verdicts memoized.
+	ContainmentChecker = chase.Checker
+	// PreserveSession is a preservation-checking session over a fixed
+	// program, caching the prepared program and per-depth unfoldings.
+	PreserveSession = preserve.Session
 )
 
 // Verdict values.
@@ -111,9 +126,32 @@ func NewDatabase() *Database { return db.New() }
 func FromFacts(facts []GroundAtom) *Database { return db.FromFacts(facts) }
 
 // Eval computes P(input), the least model of p containing input
-// (Section III).
+// (Section III). It is PrepareEval followed by one Prepared.Eval; callers
+// evaluating the same program repeatedly should prepare once.
 func Eval(p *Program, input *Database, opts EvalOptions) (*Database, EvalStats, error) {
 	return eval.Eval(p, input, opts)
+}
+
+// PrepareEval validates p once and caches its evaluation plan (strata/SCC
+// schedule, compiled rules, index needs); the returned Prepared evaluates
+// any number of databases without re-planning and is safe for concurrent
+// use.
+func PrepareEval(p *Program, opts EvalOptions) (*Prepared, error) {
+	return eval.Prepare(p, opts)
+}
+
+// NewContainmentChecker opens a uniform-containment session whose
+// containing program is p1: Checker.ContainsRule and Checker.Contains
+// decide r ⊑ᵘ P₁ and P₂ ⊑ᵘ P₁ reusing one prepared program, memoized
+// frozen bodies and memoized verdicts across calls.
+func NewContainmentChecker(p1 *Program) (*ContainmentChecker, error) {
+	return chase.NewChecker(p1)
+}
+
+// NewPreserveSession opens a preservation-checking session over p for
+// repeated Fig. 3 / condition (3′) tests against different tgd sets.
+func NewPreserveSession(p *Program) (*PreserveSession, error) {
+	return preserve.NewSession(p)
 }
 
 // NonRecursive computes Pⁿ(d), the one-step application of Section IX.

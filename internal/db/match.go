@@ -139,8 +139,22 @@ func OrderForJoin(atoms []ast.Atom, bound map[string]bool) []ast.Atom {
 // with equal boundness the one over the smaller relation goes first.
 // sizeOf may be nil (ties break on source order).
 func OrderForJoinSized(atoms []ast.Atom, bound map[string]bool, sizeOf func(pred string) int) []ast.Atom {
+	perm := OrderPermSized(atoms, bound, sizeOf)
+	out := make([]ast.Atom, len(atoms))
+	for j, i := range perm {
+		out[j] = atoms[i]
+	}
+	return out
+}
+
+// OrderPermSized computes the same greedy join order as OrderForJoinSized
+// but returns it as a permutation of atom indexes (out[j] = source index of
+// the atom evaluated j-th) instead of a reordered copy. The prepared
+// evaluation layer uses the permutation as a cache key: rounds whose live
+// cardinalities induce the same order can share one compiled rule set.
+func OrderPermSized(atoms []ast.Atom, bound map[string]bool, sizeOf func(pred string) int) []int {
 	n := len(atoms)
-	out := make([]ast.Atom, 0, n)
+	out := make([]int, 0, n)
 	used := make([]bool, n)
 	boundVars := make(map[string]bool, len(bound))
 	for v := range bound {
@@ -169,10 +183,9 @@ func OrderForJoinSized(atoms []ast.Atom, bound map[string]bool, sizeOf func(pred
 				best, bestScore, bestSize = i, score, size
 			}
 		}
-		a := atoms[best]
 		used[best] = true
-		out = append(out, a)
-		for _, t := range a.Args {
+		out = append(out, best)
+		for _, t := range atoms[best].Args {
 			if t.IsVar {
 				boundVars[t.Name] = true
 			}

@@ -241,7 +241,25 @@ func cloneAtoms(body []ast.Atom, idx []int) []ast.Atom {
 // ruleIdx of p. It returns the optimized program when all three conditions
 // hold, or nil when the candidate is rejected or Unknown. opts supplies
 // the chase budget and the preliminary-DB depth range for condition (3′).
+// It is the one-shot form of the session-based pipeline Optimize drives:
+// callers probing many candidates against the same program should build
+// the sessions once.
 func TryCandidate(p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.Program, error) {
+	ck, err := chase.NewChecker(p)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := preserve.NewSession(p)
+	if err != nil {
+		return nil, err
+	}
+	return tryCandidate(ck, ps, p, ruleIdx, c, opts)
+}
+
+// tryCandidate is the Section X pipeline over pre-built sessions for p: ck
+// checks condition (1) through the prepared [P,T] chase, ps checks (2) and
+// (3′) through the prepared Pⁿ and its cached unfoldings.
+func tryCandidate(ck *chase.Checker, ps *preserve.Session, p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.Program, error) {
 	opts = opts.withDefaults()
 	budget := opts.Budget
 	// Build P2: p with the candidate atoms removed from the rule.
@@ -258,7 +276,7 @@ func TryCandidate(p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.
 	T := []ast.TGD{c.TGD}
 
 	// (1) SAT(T) ∩ M(P1) ⊆ M(P2).
-	v, err := chase.SATModelsContained(p, T, p2, budget)
+	v, err := ck.SATModelsContained(T, p2, budget)
 	if err != nil || v != chase.Yes {
 		return nil, err
 	}
@@ -266,7 +284,7 @@ func TryCandidate(p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.
 	// probe increasing depths like condition (3′) below.
 	ok2 := false
 	for depth := 1; depth <= opts.PrelimDepth && !ok2; depth++ {
-		v, _, err = preserve.NonRecursivelyAtDepth(p, T, depth, budget)
+		v, _, err = ps.NonRecursivelyAtDepth(T, depth, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +296,7 @@ func TryCandidate(p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.
 	// (3′) the preliminary DB of P1 satisfies T; probe increasing
 	// unfolding depths (Section X's closing remark).
 	for depth := 1; depth <= opts.PrelimDepth; depth++ {
-		v, _, err = preserve.PreliminarySatisfiesAtDepth(p, T, depth, budget)
+		v, _, err = ps.PreliminarySatisfiesAtDepth(T, depth, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -300,6 +318,17 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 		return nil, nil, fmt.Errorf("equivopt: pure Datalog required")
 	}
 	cur := p.Clone()
+	// One containment session and one preservation session serve every
+	// candidate probed against the current program; they are rebuilt only
+	// when a candidate is applied and the program actually changes.
+	ck, err := chase.NewChecker(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps, err := preserve.NewSession(cur)
+	if err != nil {
+		return nil, nil, err
+	}
 	var removals []Removal
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
 		progress := false
@@ -307,7 +336,7 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 			for {
 				applied := false
 				for _, c := range CandidatesLHS(cur.Rules[i], opts.MaxRHS, opts.MaxLHS) {
-					p2, err := TryCandidate(cur, i, c, opts)
+					p2, err := tryCandidate(ck, ps, cur, i, c, opts)
 					if err != nil {
 						return nil, removals, err
 					}
@@ -320,6 +349,12 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 						TGD:       c.TGD,
 					})
 					cur = p2
+					if ck, err = chase.NewChecker(cur); err != nil {
+						return nil, removals, err
+					}
+					if ps, err = preserve.NewSession(cur); err != nil {
+						return nil, removals, err
+					}
 					applied = true
 					progress = true
 					break

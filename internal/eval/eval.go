@@ -13,8 +13,6 @@ package eval
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/db"
@@ -61,6 +59,12 @@ type Options struct {
 	// Datalog always terminates, so the bound exists for callers that embed
 	// evaluation in potentially non-terminating chases.
 	MaxDerived int
+	// Goal, when non-nil, halts evaluation the moment this ground atom is
+	// derived (it is enforced on the emit path, not at round boundaries).
+	// The returned database then contains the goal but is generally not the
+	// full fixpoint. Containment sessions use this to stop the frozen-body
+	// test of Section VI as soon as the frozen head appears.
+	Goal *ast.GroundAtom
 }
 
 // Stats reports work done by an evaluation.
@@ -79,66 +83,16 @@ type Stats struct {
 // rules of p (Section III). The input database is not modified; the returned
 // database contains the input, matching the paper's convention that "the
 // output of every program contains its input".
+//
+// Eval is the one-shot entry point: it is Prepare followed by a single
+// Prepared.Eval. Callers evaluating the same program repeatedly should
+// Prepare once and reuse the Prepared.
 func Eval(p *ast.Program, input *db.Database, opts Options) (*db.Database, Stats, error) {
-	var stats Stats
-	if err := p.Validate(); err != nil {
-		return nil, stats, err
-	}
-	d := input.Clone()
-	if !p.HasNegation() {
-		if opts.NoSCCOrder {
-			dyn := p.IDBPredicates()
-			if err := fixpoint(d, p.Rules, dyn, opts, &stats, input.Len()); err != nil {
-				return nil, stats, err
-			}
-			return d, stats, nil
-		}
-		// SCC-ordered schedule: evaluate the condensation of the dependence
-		// graph bottom-up, one fixpoint per group of mutually recursive
-		// predicates. Lower components are complete before higher ones run,
-		// so each fixpoint's delta machinery only tracks its own component's
-		// predicates — strictly less rederivation than one global fixpoint.
-		for _, group := range sccRuleGroups(p) {
-			dyn := make(map[string]bool)
-			var rules []ast.Rule
-			for _, ri := range group {
-				rules = append(rules, p.Rules[ri])
-				dyn[p.Rules[ri].Head.Pred] = true
-			}
-			if err := fixpoint(d, rules, dyn, opts, &stats, input.Len()); err != nil {
-				return nil, stats, err
-			}
-		}
-		return d, stats, nil
-	}
-
-	// Stratified negation: evaluate stratum by stratum; by stratification,
-	// a negated predicate is complete before any rule reading it runs.
-	strata, err := depgraph.Strata(p)
+	pr, err := Prepare(p, opts)
 	if err != nil {
-		return nil, stats, err
+		return nil, Stats{}, err
 	}
-	for _, stratum := range strata {
-		inStratum := make(map[string]bool, len(stratum))
-		for _, pred := range stratum {
-			inStratum[pred] = true
-		}
-		var rules []ast.Rule
-		dyn := make(map[string]bool)
-		for _, r := range p.Rules {
-			if inStratum[r.Head.Pred] {
-				rules = append(rules, r)
-				dyn[r.Head.Pred] = true
-			}
-		}
-		if len(rules) == 0 {
-			continue
-		}
-		if err := fixpoint(d, rules, dyn, opts, &stats, input.Len()); err != nil {
-			return nil, stats, err
-		}
-	}
-	return d, stats, nil
+	return pr.Eval(input)
 }
 
 // MustEval is Eval with default options, panicking on error; intended for
@@ -224,234 +178,6 @@ func indexNeeds(rules []ast.Rule) []indexNeed {
 		}
 	}
 	return out
-}
-
-// fixpoint runs the chosen strategy over one set of rules whose heads are
-// the dynamic predicates, mutating d in place.
-func fixpoint(d *db.Database, rules []ast.Rule, dynamic map[string]bool, opts Options, stats *Stats, baseLen int) error {
-	ordered := make([]ast.Rule, len(rules))
-	compiled := make([]*compiledRule, len(rules))
-	var needs []indexNeed
-	sizeOf := func(pred string) int {
-		if rel := d.Relation(pred); rel != nil {
-			return rel.Len()
-		}
-		return 0
-	}
-	// prepare (re)orders rule bodies against the current relation sizes,
-	// recompiles them, and recomputes the index column sets the round's
-	// probes will need. It runs at every round boundary so the greedy
-	// join-order heuristic sees live cardinalities, not the sizes at
-	// stratum entry; under NoReorder the order is fixed, so only the first
-	// call does work.
-	prepared := false
-	prepare := func() {
-		if prepared && opts.NoReorder {
-			return
-		}
-		for i, r := range rules {
-			ordered[i] = r.Clone()
-			if !opts.NoReorder {
-				ordered[i].Body = db.OrderForJoinSized(r.Body, nil, sizeOf)
-			}
-			if !opts.NoCompile {
-				compiled[i] = compileRule(ordered[i])
-			}
-		}
-		needs = indexNeeds(ordered)
-		prepared = true
-	}
-	// freeze builds or extends every index the round's joins will probe.
-	// Tuples inserted mid-round are stamped with the current round, which
-	// every window excludes, so the frozen indexes stay sufficient for the
-	// whole round and in-round probes never lock or mutate.
-	freeze := func() {
-		for _, n := range needs {
-			d.EnsureIndex(n.pred, n.cols)
-		}
-	}
-	// fireInto evaluates one variant with derivations routed to emit; a
-	// non-nil stop aborts the variant's enumeration when it reports true.
-	fireInto := func(idx int, windows []db.RoundWindow, st *Stats, emit func(string, []ast.Const) bool, stop func() bool) error {
-		if compiled[idx] != nil {
-			compiled[idx].fire(d, windows, st, emit, stop)
-			return nil
-		}
-		r := ordered[idx]
-		cs := make([]db.Constraint, len(r.Body))
-		for j, b := range r.Body {
-			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
-		}
-		return fireConstraints(d, r, cs, st, emit, stop)
-	}
-	budgetErr := func() error {
-		return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
-	}
-
-	type variant struct {
-		idx     int
-		windows []db.RoundWindow
-	}
-	// runRound evaluates a round's variants, sequentially or in parallel.
-	// The derived-fact budget is enforced inside the emit path, so a round
-	// that would blow far past Options.MaxDerived (a chase embedding on a
-	// diverging instance, say) is cut off as soon as the budget is
-	// exhausted rather than after the round completes.
-	runRound := func(variants []variant) error {
-		if opts.Workers <= 1 || len(variants) < 2 {
-			stop := false
-			remaining := -1
-			if opts.MaxDerived > 0 {
-				remaining = opts.MaxDerived - (d.Len() - baseLen)
-			}
-			emit := func(pred string, args []ast.Const) bool {
-				if !d.AddTuple(pred, args) {
-					return false
-				}
-				if remaining >= 0 {
-					remaining--
-					if remaining < 0 {
-						stop = true
-					}
-				}
-				return true
-			}
-			var stopFn func() bool
-			if opts.MaxDerived > 0 {
-				stopFn = func() bool { return stop }
-			}
-			for _, v := range variants {
-				if err := fireInto(v.idx, v.windows, stats, emit, stopFn); err != nil {
-					return err
-				}
-				if stop {
-					return budgetErr()
-				}
-			}
-			return nil
-		}
-		type pending struct {
-			pred string
-			args []ast.Const
-		}
-		// Parallel: fire variants concurrently into per-variant buffers and
-		// merge after the round. The budget tripwire counts tentative
-		// emissions (each variant dedups against the frozen database but
-		// not against its peers), so it can only overcount; when it trips
-		// without the merged total actually exceeding the budget, the
-		// truncated round is re-fired — already-merged facts then dedup at
-		// emit time, so every re-fire either completes the round or strictly
-		// grows the database until the budget genuinely runs out.
-		var tentative atomic.Int64
-		var tripped atomic.Bool
-		var stopFn func() bool
-		if opts.MaxDerived > 0 {
-			stopFn = func() bool { return tripped.Load() }
-		}
-		for {
-			tentative.Store(int64(d.Len() - baseLen))
-			tripped.Store(false)
-			buffers := make([][]pending, len(variants))
-			statsArr := make([]Stats, len(variants))
-			errs := make([]error, len(variants))
-			sem := make(chan struct{}, opts.Workers)
-			var wg sync.WaitGroup
-			for vi := range variants {
-				wg.Add(1)
-				go func(vi int) {
-					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					v := variants[vi]
-					emit := func(pred string, args []ast.Const) bool {
-						if d.HasTuple(pred, args) {
-							return false
-						}
-						cp := make([]ast.Const, len(args))
-						copy(cp, args)
-						buffers[vi] = append(buffers[vi], pending{pred: pred, args: cp})
-						if opts.MaxDerived > 0 && tentative.Add(1) > int64(opts.MaxDerived) {
-							tripped.Store(true)
-						}
-						return true // tentatively new; merge dedups across variants
-					}
-					errs[vi] = fireInto(v.idx, v.windows, &statsArr[vi], emit, stopFn)
-				}(vi)
-			}
-			wg.Wait()
-			for vi := range variants {
-				if errs[vi] != nil {
-					return errs[vi]
-				}
-				stats.Firings += statsArr[vi].Firings
-				for _, pf := range buffers[vi] {
-					if d.AddTuple(pf.pred, pf.args) {
-						stats.Added++
-					}
-				}
-			}
-			if !tripped.Load() {
-				return nil
-			}
-			if d.Len()-baseLen > opts.MaxDerived {
-				return budgetErr()
-			}
-		}
-	}
-
-	prevTop := d.Round() // facts present before this stratum: rounds ≤ prevTop
-	round := d.BeginRound()
-	stats.Rounds++
-	prepare()
-	freeze()
-
-	// First iteration: full application of every rule.
-	var firstRound []variant
-	for idx := range ordered {
-		firstRound = append(firstRound, variant{idx, fullWindows(len(ordered[idx].Body), prevTop)})
-	}
-	if err := runRound(firstRound); err != nil {
-		return err
-	}
-	if err := checkBudget(d, baseLen, opts); err != nil {
-		return err
-	}
-
-	for {
-		if !anyAddedIn(d, round) {
-			return nil
-		}
-		prev := round
-		round = d.BeginRound()
-		stats.Rounds++
-		prepare() // re-order joins against this round's cardinalities
-		freeze()
-		var variants []variant
-		for idx := range ordered {
-			r := ordered[idx]
-			if opts.Strategy == Naive {
-				variants = append(variants, variant{idx, fullWindows(len(r.Body), prev)})
-				continue
-			}
-			// Semi-naive: one variant per dynamic body position i, with
-			// position i restricted to the last round's delta, earlier
-			// positions to strictly older facts, and later positions to
-			// anything up to the last round. Every new combination has a
-			// unique least delta position, so nothing is derived twice.
-			for i, a := range r.Body {
-				if !dynamic[a.Pred] {
-					continue
-				}
-				variants = append(variants, variant{idx, deltaWindows(len(r.Body), i, prev)})
-			}
-		}
-		if err := runRound(variants); err != nil {
-			return err
-		}
-		if err := checkBudget(d, baseLen, opts); err != nil {
-			return err
-		}
-	}
 }
 
 func checkBudget(d *db.Database, baseLen int, opts Options) error {

@@ -1,0 +1,559 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/depgraph"
+)
+
+// The prepared layer caches everything about a program that does not depend
+// on the input database: validation, the dependence graph, the stratum/SCC
+// schedule, and — per join order actually encountered — the compiled rules
+// and the index column sets their probes need. Every decision procedure in
+// the paper (the frozen-body containment test of Section VI, the Fig. 1/2
+// minimization loops, the Section X–XI pipeline) evaluates the same program
+// against many small databases; preparing once amortizes the per-call
+// analysis they all used to repeat.
+
+// errGoal is the internal sentinel a fixpoint returns when Options.Goal was
+// derived; Prepared.run converts it into a successful early return.
+var errGoal = errors.New("eval: goal reached")
+
+// Prepared is a program analyzed and compiled for repeated evaluation:
+// Prepare once, then Eval against many input databases. The schedule
+// (strata / strongly connected components) is computed at Prepare time; the
+// compiled form of each rule is cached per join order, so steady-state
+// rounds and repeat evaluations skip recompilation entirely. A Prepared is
+// safe for concurrent use.
+type Prepared struct {
+	prog  *ast.Program
+	opts  Options
+	units []*unit
+
+	// One-step application of the whole program in a fixed order, built on
+	// first use by NonRecursive / IsClosed.
+	nonrecOnce  sync.Once
+	nonrec      []*compiledRule
+	nonrecNeeds []indexNeed
+}
+
+// unit is one fixpoint of the evaluation schedule: a stratum (under
+// negation) or one group of mutually recursive rules (SCC schedule), with
+// the dynamic predicates its delta machinery tracks.
+type unit struct {
+	rules   []ast.Rule
+	dynamic map[string]bool
+
+	mu     sync.Mutex
+	static *roundSetup            // NoReorder: the order never changes
+	cache  map[string]*roundSetup // keyed by the packed join-order perms
+	keyBuf []byte
+}
+
+// roundSetup is everything a round needs for one join order of the unit's
+// rules: the reordered rules, their compiled forms, and the index column
+// sets the round's probes will touch. Setups are immutable once built and
+// shared across rounds, evaluations, and goroutines.
+type roundSetup struct {
+	ordered  []ast.Rule
+	compiled []*compiledRule
+	needs    []indexNeed
+}
+
+// Prepare validates p and builds its evaluation schedule under opts. The
+// program is cloned, so later mutation of p (the minimization loops rewrite
+// rules in place) cannot corrupt the prepared state.
+func Prepare(p *ast.Program, opts Options) (*Prepared, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pr := &Prepared{prog: p.Clone(), opts: opts}
+	p = pr.prog
+	if !p.HasNegation() {
+		if opts.NoSCCOrder {
+			pr.units = append(pr.units, &unit{rules: p.Rules, dynamic: p.IDBPredicates()})
+			return pr, nil
+		}
+		for _, group := range sccRuleGroups(p) {
+			dyn := make(map[string]bool)
+			var rules []ast.Rule
+			for _, ri := range group {
+				rules = append(rules, p.Rules[ri])
+				dyn[p.Rules[ri].Head.Pred] = true
+			}
+			pr.units = append(pr.units, &unit{rules: rules, dynamic: dyn})
+		}
+		return pr, nil
+	}
+	// Stratified negation: one unit per stratum; by stratification a negated
+	// predicate is complete before any rule reading it runs.
+	strata, err := depgraph.Strata(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, stratum := range strata {
+		inStratum := make(map[string]bool, len(stratum))
+		for _, pred := range stratum {
+			inStratum[pred] = true
+		}
+		var rules []ast.Rule
+		dyn := make(map[string]bool)
+		for _, r := range p.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+				dyn[r.Head.Pred] = true
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		pr.units = append(pr.units, &unit{rules: rules, dynamic: dyn})
+	}
+	return pr, nil
+}
+
+// Program returns the prepared program (the clone taken at Prepare time).
+// Callers must not mutate it.
+func (pr *Prepared) Program() *ast.Program { return pr.prog }
+
+// Eval computes P(input) exactly like the package-level Eval, reusing the
+// prepared schedule and compile caches. If Options.Goal is set, evaluation
+// stops as soon as the goal atom is derived (it is then present in the
+// returned database).
+func (pr *Prepared) Eval(input *db.Database) (*db.Database, Stats, error) {
+	out, _, stats, err := pr.run(input, pr.opts.Goal, pr.opts.MaxDerived)
+	return out, stats, err
+}
+
+// EvalGoal evaluates toward a per-call goal atom under a per-call
+// derived-fact budget (0 = the prepared Options' budget semantics do not
+// apply; unlimited). It reports whether the goal was reached — the moment
+// it is derived, evaluation halts, which is what makes the frozen-body
+// containment test of Section VI cheap: the test only asks whether the
+// frozen head is derivable, never for the full fixpoint. A nil goal
+// saturates fully and reports false.
+func (pr *Prepared) EvalGoal(input *db.Database, goal *ast.GroundAtom, maxDerived int) (*db.Database, bool, Stats, error) {
+	return pr.run(input, goal, maxDerived)
+}
+
+func (pr *Prepared) run(input *db.Database, goal *ast.GroundAtom, maxDerived int) (*db.Database, bool, Stats, error) {
+	var stats Stats
+	d := input.Clone()
+	if goal != nil && d.Has(*goal) {
+		return d, true, stats, nil
+	}
+	opts := pr.opts
+	opts.MaxDerived = maxDerived
+	baseLen := input.Len()
+	for _, u := range pr.units {
+		if err := u.fixpoint(d, opts, &stats, baseLen, goal); err != nil {
+			if errors.Is(err, errGoal) {
+				return d, true, stats, nil
+			}
+			return nil, false, stats, err
+		}
+	}
+	return d, false, stats, nil
+}
+
+// Query evaluates the prepared program on input and returns the tuples
+// matching the query atom, like the package-level Query.
+func (pr *Prepared) Query(input *db.Database, query ast.Atom) ([][]ast.Const, error) {
+	out, _, err := pr.Eval(input)
+	if err != nil {
+		return nil, err
+	}
+	var tuples [][]ast.Const
+	b := ast.Binding{}
+	db.MatchAtom(out, query, db.AllRounds, b, func() bool {
+		g := query.MustGround(b)
+		t := make([]ast.Const, len(g.Args))
+		copy(t, g.Args)
+		tuples = append(tuples, t)
+		return true
+	})
+	return tuples, nil
+}
+
+// ensureNonRec compiles the one-step application of the whole program in
+// the static join order (no live cardinalities exist for a one-shot pass).
+func (pr *Prepared) ensureNonRec() {
+	pr.nonrecOnce.Do(func() {
+		ordered := make([]ast.Rule, len(pr.prog.Rules))
+		pr.nonrec = make([]*compiledRule, len(pr.prog.Rules))
+		for i, r := range pr.prog.Rules {
+			or := r.Clone()
+			or.Body = db.OrderForJoin(or.Body, nil)
+			ordered[i] = or
+			pr.nonrec[i] = compileRule(or)
+		}
+		pr.nonrecNeeds = indexNeeds(ordered)
+	})
+}
+
+// NonRecursive computes Pⁿ(d) (Section IX) through the prepared compiled
+// rules; it is equivalent to the package-level NonRecursive. d gains the
+// hash indexes the compiled joins probe but no facts.
+func (pr *Prepared) NonRecursive(d *db.Database) *db.Database {
+	if pr.opts.NoCompile {
+		return NonRecursive(pr.prog, d)
+	}
+	pr.ensureNonRec()
+	for _, n := range pr.nonrecNeeds {
+		d.EnsureIndex(n.pred, n.cols)
+	}
+	out := db.New()
+	var st Stats
+	emit := func(pred string, args []ast.Const) bool { return out.AddTuple(pred, args) }
+	for _, cr := range pr.nonrec {
+		cr.fire(d, fullWindows(len(cr.body), d.Round()), &st, emit, nil)
+	}
+	return out
+}
+
+// IsClosed reports whether d is a model of the prepared program
+// (Section IV): no rule application derives an atom outside d. It is
+// IsModel with the compiled one-step pass, aborting at the first
+// counterexample.
+func (pr *Prepared) IsClosed(d *db.Database) bool {
+	if pr.opts.NoCompile {
+		return IsModel(pr.prog, d)
+	}
+	pr.ensureNonRec()
+	for _, n := range pr.nonrecNeeds {
+		d.EnsureIndex(n.pred, n.cols)
+	}
+	closed := true
+	var st Stats
+	emit := func(pred string, args []ast.Const) bool {
+		if d.HasTuple(pred, args) {
+			return false
+		}
+		closed = false
+		return true // count as "new" so the stop hook fires immediately
+	}
+	stop := func() bool { return !closed }
+	for _, cr := range pr.nonrec {
+		cr.fire(d, fullWindows(len(cr.body), d.Round()), &st, emit, stop)
+		if !closed {
+			return false
+		}
+	}
+	return true
+}
+
+// setupFor returns the evaluation setup for the unit's rules under the
+// current relation sizes, reusing a cached compilation when some earlier
+// round already saw the same greedy join order. The cache is the heart of
+// the prepared layer: steady-state fixpoint rounds and repeat evaluations
+// hit it, so rule cloning and compilation happen once per distinct order
+// rather than once per round.
+func (u *unit) setupFor(d *db.Database, opts Options) *roundSetup {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if opts.NoReorder {
+		if u.static == nil {
+			u.static = u.build(nil, opts)
+		}
+		return u.static
+	}
+	sizeOf := func(pred string) int {
+		if rel := d.Relation(pred); rel != nil {
+			return rel.Len()
+		}
+		return 0
+	}
+	perms := make([][]int, len(u.rules))
+	key := u.keyBuf[:0]
+	cacheable := true
+	for i, r := range u.rules {
+		perms[i] = db.OrderPermSized(r.Body, nil, sizeOf)
+		if len(perms[i]) > 255 {
+			cacheable = false // a body this large cannot pack into bytes
+		}
+		key = append(key, byte(len(perms[i])))
+		for _, p := range perms[i] {
+			key = append(key, byte(p))
+		}
+	}
+	u.keyBuf = key
+	if !cacheable {
+		return u.build(perms, opts)
+	}
+	if rs, ok := u.cache[string(key)]; ok {
+		return rs
+	}
+	rs := u.build(perms, opts)
+	if u.cache == nil {
+		u.cache = make(map[string]*roundSetup)
+	}
+	u.cache[string(key)] = rs
+	return rs
+}
+
+// build clones the unit's rules into the given join orders (nil perms =
+// source order) and compiles them. The result is immutable.
+func (u *unit) build(perms [][]int, opts Options) *roundSetup {
+	rs := &roundSetup{
+		ordered:  make([]ast.Rule, len(u.rules)),
+		compiled: make([]*compiledRule, len(u.rules)),
+	}
+	for i, r := range u.rules {
+		or := r.Clone()
+		if perms != nil {
+			body := make([]ast.Atom, len(or.Body))
+			for j, pi := range perms[i] {
+				body[j] = or.Body[pi]
+			}
+			or.Body = body
+		}
+		rs.ordered[i] = or
+		if !opts.NoCompile {
+			rs.compiled[i] = compileRule(or)
+		}
+	}
+	rs.needs = indexNeeds(rs.ordered)
+	return rs
+}
+
+// fixpoint runs the chosen strategy over the unit's rules, mutating d in
+// place. A non-nil goal halts evaluation via errGoal as soon as the goal
+// atom is derived.
+func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom) error {
+	var rs *roundSetup
+	// prepare picks the setup for the current relation sizes; the greedy
+	// join-order heuristic sees live cardinalities at every round boundary,
+	// but recompilation only happens for orders not seen before.
+	prepare := func() { rs = u.setupFor(d, opts) }
+	// freeze builds or extends every index the round's joins will probe.
+	// Tuples inserted mid-round are stamped with the current round, which
+	// every window excludes, so the frozen indexes stay sufficient for the
+	// whole round and in-round probes never lock or mutate.
+	freeze := func() {
+		for _, n := range rs.needs {
+			d.EnsureIndex(n.pred, n.cols)
+		}
+	}
+	// fireInto evaluates one variant with derivations routed to emit; a
+	// non-nil stop aborts the variant's enumeration when it reports true.
+	fireInto := func(idx int, windows []db.RoundWindow, st *Stats, emit func(string, []ast.Const) bool, stop func() bool) error {
+		if rs.compiled[idx] != nil {
+			rs.compiled[idx].fire(d, windows, st, emit, stop)
+			return nil
+		}
+		r := rs.ordered[idx]
+		cs := make([]db.Constraint, len(r.Body))
+		for j, b := range r.Body {
+			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
+		}
+		return fireConstraints(d, r, cs, st, emit, stop)
+	}
+	budgetErr := func() error {
+		return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
+	}
+
+	type variant struct {
+		idx     int
+		windows []db.RoundWindow
+	}
+	// runRound evaluates a round's variants, sequentially or in parallel.
+	// The derived-fact budget and the goal test are enforced inside the
+	// emit path, so a round that would blow far past Options.MaxDerived (a
+	// chase embedding on a diverging instance, say) is cut off as soon as
+	// the budget is exhausted, and a goal-directed evaluation halts the
+	// moment the goal is derived rather than at the fixpoint.
+	runRound := func(variants []variant) error {
+		if opts.Workers <= 1 || len(variants) < 2 {
+			stop := false
+			goalHit := false
+			remaining := -1
+			if opts.MaxDerived > 0 {
+				remaining = opts.MaxDerived - (d.Len() - baseLen)
+			}
+			emit := func(pred string, args []ast.Const) bool {
+				if !d.AddTuple(pred, args) {
+					return false
+				}
+				if goal != nil && pred == goal.Pred && constsEqual(args, goal.Args) {
+					goalHit = true
+					stop = true
+				}
+				if remaining >= 0 {
+					remaining--
+					if remaining < 0 {
+						stop = true
+					}
+				}
+				return true
+			}
+			var stopFn func() bool
+			if opts.MaxDerived > 0 || goal != nil {
+				stopFn = func() bool { return stop }
+			}
+			for _, v := range variants {
+				if err := fireInto(v.idx, v.windows, stats, emit, stopFn); err != nil {
+					return err
+				}
+				if goalHit {
+					return errGoal
+				}
+				if stop {
+					return budgetErr()
+				}
+			}
+			return nil
+		}
+		type pending struct {
+			pred string
+			args []ast.Const
+		}
+		// Parallel: fire variants concurrently into per-variant buffers and
+		// merge after the round. The budget tripwire counts tentative
+		// emissions (each variant dedups against the frozen database but
+		// not against its peers), so it can only overcount; when it trips
+		// without the merged total actually exceeding the budget, the
+		// truncated round is re-fired — already-merged facts then dedup at
+		// emit time, so every re-fire either completes the round or strictly
+		// grows the database until the budget genuinely runs out. A goal
+		// sighting is exact (the goal is ground, so any emission of it is
+		// the goal), so it is checked after the merge, before the budget.
+		var tentative atomic.Int64
+		var tripped atomic.Bool
+		var goalHit atomic.Bool
+		var stopFn func() bool
+		switch {
+		case opts.MaxDerived > 0 && goal != nil:
+			stopFn = func() bool { return tripped.Load() || goalHit.Load() }
+		case opts.MaxDerived > 0:
+			stopFn = func() bool { return tripped.Load() }
+		case goal != nil:
+			stopFn = func() bool { return goalHit.Load() }
+		}
+		for {
+			tentative.Store(int64(d.Len() - baseLen))
+			tripped.Store(false)
+			buffers := make([][]pending, len(variants))
+			statsArr := make([]Stats, len(variants))
+			errs := make([]error, len(variants))
+			sem := make(chan struct{}, opts.Workers)
+			var wg sync.WaitGroup
+			for vi := range variants {
+				wg.Add(1)
+				go func(vi int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					v := variants[vi]
+					emit := func(pred string, args []ast.Const) bool {
+						if d.HasTuple(pred, args) {
+							return false
+						}
+						cp := make([]ast.Const, len(args))
+						copy(cp, args)
+						buffers[vi] = append(buffers[vi], pending{pred: pred, args: cp})
+						if goal != nil && pred == goal.Pred && constsEqual(args, goal.Args) {
+							goalHit.Store(true)
+						}
+						if opts.MaxDerived > 0 && tentative.Add(1) > int64(opts.MaxDerived) {
+							tripped.Store(true)
+						}
+						return true // tentatively new; merge dedups across variants
+					}
+					errs[vi] = fireInto(v.idx, v.windows, &statsArr[vi], emit, stopFn)
+				}(vi)
+			}
+			wg.Wait()
+			for vi := range variants {
+				if errs[vi] != nil {
+					return errs[vi]
+				}
+				stats.Firings += statsArr[vi].Firings
+				for _, pf := range buffers[vi] {
+					if d.AddTuple(pf.pred, pf.args) {
+						stats.Added++
+					}
+				}
+			}
+			if goalHit.Load() {
+				return errGoal
+			}
+			if !tripped.Load() {
+				return nil
+			}
+			if d.Len()-baseLen > opts.MaxDerived {
+				return budgetErr()
+			}
+		}
+	}
+
+	prevTop := d.Round() // facts present before this stratum: rounds ≤ prevTop
+	round := d.BeginRound()
+	stats.Rounds++
+	prepare()
+	freeze()
+
+	// First iteration: full application of every rule.
+	var firstRound []variant
+	for idx := range rs.ordered {
+		firstRound = append(firstRound, variant{idx, fullWindows(len(rs.ordered[idx].Body), prevTop)})
+	}
+	if err := runRound(firstRound); err != nil {
+		return err
+	}
+	if err := checkBudget(d, baseLen, opts); err != nil {
+		return err
+	}
+
+	for {
+		if !anyAddedIn(d, round) {
+			return nil
+		}
+		prev := round
+		round = d.BeginRound()
+		stats.Rounds++
+		prepare() // re-pick the join order against this round's cardinalities
+		freeze()
+		var variants []variant
+		for idx := range rs.ordered {
+			r := rs.ordered[idx]
+			if opts.Strategy == Naive {
+				variants = append(variants, variant{idx, fullWindows(len(r.Body), prev)})
+				continue
+			}
+			// Semi-naive: one variant per dynamic body position i, with
+			// position i restricted to the last round's delta, earlier
+			// positions to strictly older facts, and later positions to
+			// anything up to the last round. Every new combination has a
+			// unique least delta position, so nothing is derived twice.
+			for i, a := range r.Body {
+				if !u.dynamic[a.Pred] {
+					continue
+				}
+				variants = append(variants, variant{idx, deltaWindows(len(r.Body), i, prev)})
+			}
+		}
+		if err := runRound(variants); err != nil {
+			return err
+		}
+		if err := checkBudget(d, baseLen, opts); err != nil {
+			return err
+		}
+	}
+}
+
+func constsEqual(a, b []ast.Const) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+// pickDerivedGoal returns a fact of full that is not in the input d — the
+// kind of goal an early-stopping evaluation can actually cut short — or ok
+// false when p derives nothing new from d.
+func pickDerivedGoal(d, full *db.Database) (ast.GroundAtom, bool) {
+	for _, g := range full.Facts() {
+		if !d.Has(g) {
+			return g, true
+		}
+	}
+	return ast.GroundAtom{}, false
+}
+
+// TestQuickPreparedEqualsOneShot checks that preparing a program once and
+// evaluating through the Prepared is observationally identical to the
+// one-shot Eval — same output database, same Added count — over random
+// programs crossed over {naive, semi-naive} × {sequential, 4 workers} ×
+// {goal unset, goal set}.
+func TestQuickPreparedEqualsOneShot(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomProgram(rng, 1+rng.Intn(4))
+		if p.Validate() != nil {
+			return true
+		}
+		d := workload.RandomDB(rng, p, 4, 4)
+		for _, strat := range []Strategy{SemiNaive, Naive} {
+			for _, workers := range []int{1, 4} {
+				opts := Options{Strategy: strat, Workers: workers}
+				full, sFull, err := Eval(p, d, opts)
+				if err != nil {
+					return false
+				}
+				pr, err := Prepare(p, opts)
+				if err != nil {
+					return false
+				}
+				out, st, err := pr.Eval(d)
+				if err != nil {
+					return false
+				}
+				if !out.Equal(full) || st.Added != sFull.Added {
+					return false
+				}
+				// The Prepared is reusable: a second evaluation of the same
+				// input repeats the result exactly.
+				again, st2, err := pr.Eval(d)
+				if err != nil || !again.Equal(full) || st2.Added != st.Added {
+					return false
+				}
+
+				// Goal set: one-shot and prepared must agree on the partial
+				// database and its Added count, and the early stop must be
+				// sound — the goal is reached iff the fixpoint derives it,
+				// and the partial database never exceeds the fixpoint.
+				goal, ok := pickDerivedGoal(d, full)
+				if !ok {
+					continue
+				}
+				goalOpts := opts
+				goalOpts.Goal = &goal
+				a, sa, err := Eval(p, d, goalOpts)
+				if err != nil {
+					return false
+				}
+				prG, err := Prepare(p, goalOpts)
+				if err != nil {
+					return false
+				}
+				b, reached, sb, err := prG.EvalGoal(d, &goal, 0)
+				if err != nil {
+					return false
+				}
+				if !a.Equal(b) || sa.Added != sb.Added {
+					return false
+				}
+				if !reached || !a.Has(goal) || !full.Contains(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGoalUnreachable checks that an unreachable goal degrades to a
+// plain fixpoint evaluation: nothing is cut short and reached is false.
+func TestQuickGoalUnreachable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomProgram(rng, 1+rng.Intn(4))
+		if p.Validate() != nil {
+			return true
+		}
+		d := workload.RandomDB(rng, p, 4, 4)
+		full, sFull, err := Eval(p, d, Options{})
+		if err != nil {
+			return false
+		}
+		goal := ast.NewGroundAtom("NoSuchPred", ast.Int(0))
+		pr, err := Prepare(p, Options{})
+		if err != nil {
+			return false
+		}
+		out, reached, st, err := pr.EvalGoal(d, &goal, 0)
+		if err != nil {
+			return false
+		}
+		return !reached && out.Equal(full) && st.Added == sFull.Added
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPreparedGoalStopsMidStratum pins the emit-path enforcement: with a
+// two-stratum program and a goal in the first stratum, evaluation halts
+// before the second stratum runs at all.
+func TestPreparedGoalStopsMidStratum(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z).
+		H(x, z) :- G(x, z).`)
+	d := db.FromFacts([]ast.GroundAtom{ga("A", 1, 2)})
+	goal := ga("G", 1, 2)
+	pr, err := Prepare(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, reached, _, err := pr.EvalGoal(d, &goal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reached || !out.Has(goal) {
+		t.Fatal("goal not reached")
+	}
+	if out.Has(ga("H", 1, 2)) {
+		t.Fatal("evaluation ran past the goal into the next stratum")
+	}
+}
+
+// TestPreparedGoalAlreadyInInput checks the degenerate case: a goal already
+// present in the input database stops evaluation before any rule fires.
+func TestPreparedGoalAlreadyInInput(t *testing.T) {
+	p := parser.MustParseProgram(`G(x, z) :- A(x, z).`)
+	d := db.FromFacts([]ast.GroundAtom{ga("A", 1, 2), ga("G", 7, 7)})
+	goal := ga("G", 7, 7)
+	pr, err := Prepare(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, reached, st, err := pr.EvalGoal(d, &goal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reached || st.Added != 0 {
+		t.Fatalf("reached=%v added=%d, want immediate stop", reached, st.Added)
+	}
+	if out.Has(ga("G", 1, 2)) {
+		t.Fatal("rules fired despite the goal being in the input")
+	}
+}

@@ -93,10 +93,17 @@ func Program(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
 // minimizeAtoms runs the first phase of Fig. 2 on every rule of p (which,
 // for a single-rule program, is exactly Fig. 1). Each atom is considered
 // once; the test for deleting atom α from rule r is r̂ ⊑ᵘ P with P the
-// current program.
+// current program. One containment session serves all candidate atoms of
+// the current program; it is rebuilt only when a deletion changes the
+// program, so the schedule/compile work is per accepted deletion instead of
+// per considered atom.
 func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
 	var trace Trace
 	q := p.Clone()
+	ck, err := chase.NewChecker(q)
+	if err != nil {
+		return nil, trace, err
+	}
 	for i := range q.Rules {
 		if opts.Rand != nil {
 			shuffleBody(&q.Rules[i], opts.Rand)
@@ -119,13 +126,17 @@ func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
 				k++
 				continue
 			}
-			ok, err := chase.UniformlyContainsRule(q, cand)
+			ok, err := ck.ContainsRule(cand)
 			if err != nil {
 				return nil, trace, err
 			}
 			if ok {
 				trace.AtomRemovals = append(trace.AtomRemovals, AtomRemoval{Rule: r.Clone(), Atom: r.Body[k].Clone()})
 				q.Rules[i] = cand
+				ck, err = chase.NewChecker(q)
+				if err != nil {
+					return nil, trace, err
+				}
 			} else {
 				k++
 			}
@@ -167,15 +178,19 @@ func RemoveRedundantRules(p *ast.Program) (*ast.Program, Trace, error) {
 
 // IsMinimal reports whether p has no atom and no rule deletable under
 // uniform equivalence — the property Theorem 2 guarantees for the output of
-// Program.
+// Program. All atom tests share one containment session over p.
 func IsMinimal(p *ast.Program) (bool, error) {
+	ck, err := chase.NewChecker(p)
+	if err != nil {
+		return false, err
+	}
 	for i, r := range p.Rules {
 		for k := range r.Body {
 			cand := r.WithoutBodyAtom(k)
 			if cand.Validate() != nil {
 				continue
 			}
-			ok, err := chase.UniformlyContainsRule(p, cand)
+			ok, err := ck.ContainsRule(cand)
 			if err != nil {
 				return false, err
 			}

@@ -26,6 +26,62 @@ func (c *Counterexample) String() string {
 	return fmt.Sprintf("tgd %s violated on %v over\n%s", c.TGD, c.LHS, c.DB)
 }
 
+// Session holds one program prepared for repeated Fig. 3 / Section X
+// preservation checks. The prepared one-step evaluator Pⁿ, the per-depth
+// unfoldings, and the per-depth combination options are all computed once
+// and reused across tgds and candidate probes — the Section XI optimizer
+// asks the same program about many candidate tgds at many depths.
+//
+// A Session is not safe for concurrent use.
+type Session struct {
+	p    *ast.Program
+	prep *eval.Prepared
+	idb  map[string]bool
+	opts map[string][]option // combinationOptions(p, idb), lazily built
+
+	prelim  map[int]*depthEntry // PreliminarySatisfiesAtDepth, by depth
+	partial map[int]*depthEntry // NonRecursivelyAtDepth, by depth
+}
+
+// depthEntry is one prepared depth-k variant: the (unfolded or
+// initialization) program, its prepared evaluator, the idb/option tables
+// the combination walk needs, and whether the unfolding was complete.
+type depthEntry struct {
+	prep     *eval.Prepared
+	idb      map[string]bool
+	opts     map[string][]option
+	complete bool
+}
+
+// NewSession prepares p for preservation checks. Programs using negation
+// are rejected (the Fig. 3 procedure is defined for pure Datalog).
+func NewSession(p *ast.Program) (*Session, error) {
+	if p.HasNegation() {
+		return nil, fmt.Errorf("preserve: pure Datalog required")
+	}
+	prep, err := eval.Prepare(p, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		p:       prep.Program(),
+		prep:    prep,
+		idb:     p.IDBPredicates(),
+		prelim:  make(map[int]*depthEntry),
+		partial: make(map[int]*depthEntry),
+	}, nil
+}
+
+// combOpts lazily builds the Fig. 3 combination options for the session
+// program: per intentional predicate, the producing rules plus the trivial
+// "already in d" option.
+func (s *Session) combOpts() map[string][]option {
+	if s.opts == nil {
+		s.opts = combinationOptions(s.p, s.idb)
+	}
+	return s.opts
+}
+
 // NonRecursively runs the Fig. 3 procedure: it decides whether p preserves
 // T non-recursively, i.e. whether ⟨d, Pⁿ(d)⟩ satisfies T for every DB d
 // satisfying T. Yes answers are exact. No answers come with a finite
@@ -37,17 +93,22 @@ func (c *Counterexample) String() string {
 // Non-recursive preservation implies preservation (Section IX), which is
 // condition (2) of the Section X recipe for proving P₂ ⊑ P₁.
 func NonRecursively(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	if p.HasNegation() {
-		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
+	s, err := NewSession(p)
+	if err != nil {
+		return chase.Unknown, nil, err
 	}
-	idb := p.IDBPredicates()
+	return s.NonRecursively(tgds, budget)
+}
+
+// NonRecursively is the session form of the package-level NonRecursively.
+func (s *Session) NonRecursively(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
 	sawUnknown := false
 	for _, tau := range tgds {
 		// Options for each intentional LHS atom: every rule of p with the
 		// right head predicate, plus the trivial rule Q(x̄) :- Q(x̄)
 		// (Section IX augments the program with trivial rules so that the
 		// combinations also cover "this atom was already in d").
-		v, cex, err := checkTGD(p, idb, tgds, tau, budget, combinationOptions(p, idb))
+		v, cex, err := checkTGD(s.prep, s.idb, tgds, tau, budget, s.combOpts())
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
@@ -72,17 +133,22 @@ func NonRecursively(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.
 // drawn from the initialization program Pⁱ only. The procedure always
 // terminates, so the verdict is never Unknown.
 func PreliminarySatisfies(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	if p.HasNegation() {
-		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
+	s, err := NewSession(p)
+	if err != nil {
+		return chase.Unknown, nil, err
 	}
-	idb := p.IDBPredicates()
-	init := p.InitRules()
-	opts := make(map[string][]option)
-	for _, r := range init.Rules {
-		opts[r.Head.Pred] = append(opts[r.Head.Pred], option{rule: r})
+	return s.PreliminarySatisfies(tgds, budget)
+}
+
+// PreliminarySatisfies is the session form of the package-level
+// PreliminarySatisfies.
+func (s *Session) PreliminarySatisfies(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	e, err := s.prelimEntry(1)
+	if err != nil {
+		return chase.Unknown, nil, err
 	}
 	for _, tau := range tgds {
-		v, cex, err := checkTGDOnce(init, idb, tau, opts)
+		v, cex, err := checkTGDOnce(e.prep, e.idb, tau, e.opts)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
@@ -91,6 +157,59 @@ func PreliminarySatisfies(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (
 		}
 	}
 	return chase.Yes, nil, nil
+}
+
+// prelimEntry returns (building on first use) the prepared depth-k
+// preliminary-DB variant: depth 1 is the initialization program Pⁱ, deeper
+// entries unfold p to derivation depth k (Section X's closing remark).
+func (s *Session) prelimEntry(depth int) (*depthEntry, error) {
+	if e, ok := s.prelim[depth]; ok {
+		return e, nil
+	}
+	var init *ast.Program
+	complete := true
+	if depth <= 1 {
+		init = s.p.InitRules()
+	} else {
+		res, err := unfold.ToDepth(s.p, depth, 0)
+		if err != nil {
+			return nil, err
+		}
+		init = res.Program
+		complete = res.Complete
+	}
+	prep, err := eval.Prepare(init, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	opts := make(map[string][]option)
+	for _, r := range init.Rules {
+		opts[r.Head.Pred] = append(opts[r.Head.Pred], option{rule: r})
+	}
+	e := &depthEntry{prep: prep, idb: s.idb, opts: opts, complete: complete}
+	s.prelim[depth] = e
+	return e, nil
+}
+
+// partialEntry returns (building on first use) the prepared depth-k
+// partially unfolded variant Q with Qⁿ(d) = k rounds of P.
+func (s *Session) partialEntry(depth int) (*depthEntry, error) {
+	if e, ok := s.partial[depth]; ok {
+		return e, nil
+	}
+	res, err := unfold.Partial(s.p, depth, 0)
+	if err != nil {
+		return nil, err
+	}
+	q := res.Program
+	prep, err := eval.Prepare(q, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	idb := q.IDBPredicates()
+	e := &depthEntry{prep: prep, idb: idb, opts: combinationOptions(q, idb), complete: res.Complete}
+	s.partial[depth] = e
+	return e, nil
 }
 
 // option is one way to account for an intentional LHS atom: a producing
@@ -113,12 +232,12 @@ func combinationOptions(p *ast.Program, idb map[string]bool) map[string][]option
 	return opts
 }
 
-// checkTGD enumerates all combinations for tau against p and runs the
-// interleaved chase-and-check loop on each.
-func checkTGD(p *ast.Program, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, budget chase.Budget, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+// checkTGD enumerates all combinations for tau against the prepared
+// program and runs the interleaved chase-and-check loop on each.
+func checkTGD(prep *eval.Prepared, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, budget chase.Budget, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
 	sawUnknown := false
 	err := forEachCombination(idb, tau, opts, func(c *combination) error {
-		v, cex := runCombination(p, tgds, tau, c, budget, true)
+		v, cex := runCombination(prep, tgds, tau, c, budget, true)
 		switch v {
 		case chase.No:
 			return &foundViolation{cex}
@@ -142,7 +261,7 @@ func checkTGD(p *ast.Program, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, 
 
 // checkTGDOnce is the preliminary-DB variant: no tgd application to d, so a
 // single Pⁿ(d) check decides each combination.
-func checkTGDOnce(init *ast.Program, idb map[string]bool, tau ast.TGD, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+func checkTGDOnce(init *eval.Prepared, idb map[string]bool, tau ast.TGD, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
 	err := forEachCombination(idb, tau, opts, func(c *combination) error {
 		v, cex := runCombination(init, nil, tau, c, chase.Budget{MaxAtoms: 1 << 30, MaxRounds: 1}, false)
 		if v == chase.No {
@@ -319,14 +438,14 @@ func visitCombination(tau ast.TGD, intAtoms, extAtoms []ast.Atom, opts map[strin
 // d ∈ SAT(T)) and re-check; conclude a genuine violation only when d has
 // reached its T-fixpoint. With chaseD=false (the preliminary-DB variant) no
 // tgds are applied and the first check decides.
-func runCombination(p *ast.Program, tgds []ast.TGD, tau ast.TGD, c *combination, budget chase.Budget, chaseD bool) (chase.Verdict, *Counterexample) {
+func runCombination(prep *eval.Prepared, tgds []ast.TGD, tau ast.TGD, c *combination, budget chase.Budget, chaseD bool) (chase.Verdict, *Counterexample) {
 	budget = normalize(budget)
 	_, maxNull := c.d.MaxGeneratedIndexes()
 	nullGen := ast.NewNullGen(maxNull + 1)
 	d := c.d
 	for round := 0; round < budget.MaxRounds; round++ {
 		full := d.Clone()
-		full.AddAll(eval.NonRecursive(p, d))
+		full.AddAll(prep.NonRecursive(d))
 		if db.Satisfiable(full, c.rhs, c.theta) {
 			return chase.Yes, nil
 		}
@@ -366,29 +485,31 @@ func normalize(b chase.Budget) chase.Budget {
 // typically probe increasing depths. Depth 1 coincides with
 // PreliminarySatisfies.
 func PreliminarySatisfiesAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	if depth <= 1 {
-		return PreliminarySatisfies(p, tgds, budget)
-	}
-	if p.HasNegation() {
-		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
-	}
-	res, err := unfold.ToDepth(p, depth, 0)
+	s, err := NewSession(p)
 	if err != nil {
 		return chase.Unknown, nil, err
 	}
-	idb := p.IDBPredicates()
-	init := res.Program
-	opts := make(map[string][]option)
-	for _, r := range init.Rules {
-		opts[r.Head.Pred] = append(opts[r.Head.Pred], option{rule: r})
+	return s.PreliminarySatisfiesAtDepth(tgds, depth, budget)
+}
+
+// PreliminarySatisfiesAtDepth is the session form of the package-level
+// PreliminarySatisfiesAtDepth; the depth-k unfolded preliminary program is
+// prepared once per session and reused across candidate tgds.
+func (s *Session) PreliminarySatisfiesAtDepth(tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	if depth <= 1 {
+		return s.PreliminarySatisfies(tgds, budget)
+	}
+	e, err := s.prelimEntry(depth)
+	if err != nil {
+		return chase.Unknown, nil, err
 	}
 	for _, tau := range tgds {
-		v, cex, err := checkTGDOnce(init, idb, tau, opts)
+		v, cex, err := checkTGDOnce(e.prep, e.idb, tau, e.opts)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
 		if v == chase.No {
-			if !res.Complete {
+			if !e.complete {
 				// The unfolding was truncated; the violation may be an
 				// artifact of the missing derivations.
 				return chase.Unknown, cex, nil
@@ -412,27 +533,33 @@ func PreliminarySatisfiesAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budg
 // rounds too), so callers typically probe increasing depths. A truncated
 // unfolding demotes No to Unknown.
 func NonRecursivelyAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	if depth <= 1 {
-		return NonRecursively(p, tgds, budget)
-	}
-	if p.HasNegation() {
-		return chase.Unknown, nil, fmt.Errorf("preserve: pure Datalog required")
-	}
-	res, err := unfold.Partial(p, depth, 0)
+	s, err := NewSession(p)
 	if err != nil {
 		return chase.Unknown, nil, err
 	}
-	q := res.Program
-	idb := q.IDBPredicates()
+	return s.NonRecursivelyAtDepth(tgds, depth, budget)
+}
+
+// NonRecursivelyAtDepth is the session form of the package-level
+// NonRecursivelyAtDepth; the depth-k partial unfolding is prepared once per
+// session and reused across candidate tgds.
+func (s *Session) NonRecursivelyAtDepth(tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	if depth <= 1 {
+		return s.NonRecursively(tgds, budget)
+	}
+	e, err := s.partialEntry(depth)
+	if err != nil {
+		return chase.Unknown, nil, err
+	}
 	sawUnknown := false
 	for _, tau := range tgds {
-		v, cex, err := checkTGD(q, idb, tgds, tau, budget, combinationOptions(q, idb))
+		v, cex, err := checkTGD(e.prep, e.idb, tgds, tau, budget, e.opts)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
 		switch v {
 		case chase.No:
-			if !res.Complete {
+			if !e.complete {
 				return chase.Unknown, cex, nil
 			}
 			return chase.No, cex, nil
