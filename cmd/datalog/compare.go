@@ -16,7 +16,9 @@ import (
 // containment both ways (with the failing rule as witness), a sampled
 // plain-equivalence check over random EDBs (equivalence itself being
 // undecidable), and each program's distance from its Fig. 2 minimal form.
-func compareReport(out io.Writer, p1, p2 *ast.Program) error {
+// verbose additionally reports each minimization session's cache counters
+// and the process-wide plan cache state.
+func compareReport(out io.Writer, p1, p2 *ast.Program, verbose bool) error {
 	contains := chase.UniformlyContains
 	if p1.HasNegation() || p2.HasNegation() {
 		contains = chase.StratifiedUniformlyContains
@@ -54,7 +56,8 @@ func compareReport(out io.Writer, p1, p2 *ast.Program) error {
 		}
 	}
 
-	for name, p := range map[string]*ast.Program{"P1": p1, "P2": p2} {
+	for i, p := range []*ast.Program{p1, p2} {
+		name := fmt.Sprintf("P%d", i+1)
 		if p.HasNegation() {
 			continue
 		}
@@ -69,6 +72,16 @@ func compareReport(out io.Writer, p1, p2 *ast.Program) error {
 				name, trace.AtomsRemoved(), trace.RulesRemoved())
 			_ = min
 		}
+		if verbose {
+			fmt.Fprintf(out, "%s session: plan hits=%d misses=%d, verdicts reused=%d recomputed=%d\n",
+				name, trace.Stats.PrepareHits, trace.Stats.PrepareMisses,
+				trace.Stats.VerdictsReused, trace.Stats.VerdictsRecomputed)
+		}
+	}
+	if verbose {
+		cs := eval.DefaultPlanCache.Stats()
+		fmt.Fprintf(out, "plan cache: hits=%d misses=%d evictions=%d entries=%d\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
 	}
 	return nil
 }
@@ -92,10 +105,11 @@ func sampleEquivalence(p1, p2 *ast.Program, trials int) (int, string) {
 			}
 		}
 	}
-	// Prepare each program once; the per-trial work is then just the
-	// fixpoint itself, not re-planning the same two programs 40 times.
-	prep1, err1 := eval.Prepare(p1, eval.Options{})
-	prep2, err2 := eval.Prepare(p2, eval.Options{})
+	// Prepare each program once (through the shared plan cache); the
+	// per-trial work is then just the fixpoint itself, not re-planning the
+	// same two programs 40 times.
+	prep1, err1 := eval.PrepareCached(p1, eval.Options{})
+	prep2, err2 := eval.PrepareCached(p2, eval.Options{})
 	if err1 != nil || err2 != nil {
 		return 0, ""
 	}

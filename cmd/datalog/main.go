@@ -25,6 +25,7 @@
 //
 //	-naive   use the naive fixpoint strategy for eval/query
 //	-stats   print evaluation statistics
+//	-v       print cache/session statistics (compare, minimize)
 package main
 
 import (
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("datalog", flag.ContinueOnError)
 	naive := fs.Bool("naive", false, "use the naive fixpoint strategy")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
+	verbose := fs.Bool("v", false, "print cache/session statistics")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,6 +153,9 @@ func run(args []string, out io.Writer) error {
 		for _, r := range trace.RuleRemovals {
 			fmt.Fprintf(out, "%%   rule %s\n", r.Format(res.Symbols))
 		}
+		if *verbose {
+			printSessionStats(out, trace.Stats)
+		}
 		return nil
 
 	case "equivopt":
@@ -210,7 +215,7 @@ func run(args []string, out io.Writer) error {
 		if len(res.TGDs) == 0 {
 			return fmt.Errorf("check: the file declares no tgds")
 		}
-		prep, err := eval.Prepare(res.Program, opts)
+		prep, err := eval.PrepareCached(res.Program, opts)
 		if err != nil {
 			return err
 		}
@@ -240,7 +245,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compareReport(out, p1, p2)
+		return compareReport(out, p1, p2, *verbose)
 
 	case "preserve":
 		res, err := load(rest, 0)
@@ -365,6 +370,16 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printSessionStats renders a containment session's cache counters plus the
+// process-wide plan cache state.
+func printSessionStats(out io.Writer, st eval.Stats) {
+	fmt.Fprintf(out, "%% session: plan hits=%d misses=%d, verdicts reused=%d recomputed=%d\n",
+		st.PrepareHits, st.PrepareMisses, st.VerdictsReused, st.VerdictsRecomputed)
+	cs := eval.DefaultPlanCache.Stats()
+	fmt.Fprintf(out, "%% plan cache: hits=%d misses=%d evictions=%d entries=%d\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
 }
 
 // load reads and parses the file named by rest[0] ("-" = stdin) and checks

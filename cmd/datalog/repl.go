@@ -31,10 +31,11 @@ type session struct {
 }
 
 // prepared returns the session's prepared program, building it on first use
-// after a mutation.
+// after a mutation. The shared plan cache makes an undo (or re-entering an
+// earlier program) a lookup instead of a re-plan.
 func (s *session) prepared() (*eval.Prepared, error) {
 	if s.prep == nil {
-		pr, err := eval.Prepare(s.program, eval.Options{})
+		pr, err := eval.PrepareCached(s.program, eval.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -101,6 +101,44 @@ func (r Rule) Validate() error {
 	return nil
 }
 
+// WellFormed reports whether Validate would accept r, without constructing
+// an error. The minimization loops probe many candidate deletions that break
+// range restriction; building a rendered error for each rejected candidate
+// costs more than the containment tests the loop actually runs.
+func (r Rule) WellFormed() bool {
+	if r.Head.Pred == "" {
+		return false
+	}
+	if len(r.Body) == 0 && (len(r.NegBody) > 0 || !r.Head.IsGround()) {
+		return false
+	}
+	for _, t := range r.Head.Args {
+		if t.IsVar && !r.bodyBinds(t.Name) {
+			return false
+		}
+	}
+	for _, a := range r.NegBody {
+		for _, t := range a.Args {
+			if t.IsVar && !r.bodyBinds(t.Name) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bodyBinds reports whether variable v occurs in the positive body.
+func (r Rule) bodyBinds(v string) bool {
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			if t.IsVar && t.Name == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // HasNegation reports whether the rule uses the stratified-negation
 // extension.
 func (r Rule) HasNegation() bool { return len(r.NegBody) > 0 }

@@ -16,9 +16,11 @@ package chase
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/db"
+	"repro/internal/depgraph"
 	"repro/internal/eval"
 )
 
@@ -96,12 +98,48 @@ func FreezeRule(r ast.Rule) (ast.GroundAtom, *db.Database) {
 // derived, rather than saturating the full fixpoint (Corollary 2 only asks
 // whether the head is derivable).
 //
+// Prepared plans come from the shared content-addressed plan cache, and
+// Derive produces the Checker for a one-rule-delta program by patching this
+// one — carrying over the frozen bodies and every memoized verdict the
+// delta provably cannot flip — instead of starting a fresh session.
+//
 // A Checker is not safe for concurrent use (its memo tables are unlocked).
 type Checker struct {
-	prog     *ast.Program
-	prep     *eval.Prepared
-	verdicts map[string]bool
-	frozen   map[string]frozenRule
+	prog *ast.Program
+	// progCanon is the program's canonical form — the session's content
+	// address into the plan and verdict caches. ruleCanon holds its
+	// per-rule lines (each newline-terminated; their concatenation is
+	// progCanon), so Derive re-renders only the one rule a delta touches.
+	progCanon string
+	ruleCanon []string
+	prep      *eval.Prepared
+	// pv is the shared verdict table for this program content address,
+	// resolved once so each test keys only by the rule's canonical form.
+	pv     *progVerdicts
+	frozen map[string]frozenRule
+	// graph is the lazily built dependence graph used by the reachability
+	// tests of every candidate delta probed from this session, and reach
+	// memoizes its ReachableFrom sets per source predicate. Both are handed
+	// down to derived sessions: a delta only ever removes atoms or rules, so
+	// an ancestor's graph has a superset of the descendant's edges, and
+	// testing reachability on it is sound for verdict transfer — it can only
+	// over-approximate reachability, i.e. drop a verdict it could have kept.
+	graph *depgraph.Graph
+	reach map[string]map[string]bool
+	// stats is shared across the whole Derive lineage (one session, many
+	// derived programs), so work done while probing a candidate that is
+	// then discarded still shows up in the session totals.
+	stats *eval.Stats
+}
+
+// verdict is one memoized ContainsRule answer plus what Derive needs to
+// decide whether a rule delta can flip it: the goal (frozen-head)
+// predicate, and — for positive answers — a superset of the program rules
+// used by the witnessing derivation.
+type verdict struct {
+	ok   bool
+	goal string
+	prov eval.RuleSet
 }
 
 type frozenRule struct {
@@ -109,24 +147,53 @@ type frozenRule struct {
 	body *db.Database
 }
 
-// NewChecker prepares p as the containing program of a session. Programs
-// using negation are rejected: the chase-based tests are defined for pure
-// Datalog (use StratifiedUniformlyContains for the encoded extension).
+// NewChecker prepares p as the containing program of a session, reusing a
+// cached plan for any canonically equal program seen before. Programs using
+// negation are rejected: the chase-based tests are defined for pure Datalog
+// (use StratifiedUniformlyContains for the encoded extension).
 func NewChecker(p *ast.Program) (*Checker, error) {
 	if p.HasNegation() {
 		return nil, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
 	}
-	prep, err := eval.Prepare(p, eval.Options{})
+	c := &Checker{
+		// Keep the caller's rules (cloned against mutation) rather than the
+		// prepared program: a cache hit may return a plan for an
+		// alpha-renamed twin, and Derive's delta indexes and body-subset
+		// checks must be relative to the rules the caller names.
+		prog:   p.Clone(),
+		frozen: make(map[string]frozenRule),
+		stats:  &eval.Stats{},
+	}
+	c.ruleCanon = make([]string, len(c.prog.Rules))
+	for i, r := range c.prog.Rules {
+		c.ruleCanon[i] = r.CanonicalString() + "\n"
+	}
+	c.progCanon = joinCanon(c.ruleCanon)
+	c.pv = defaultVerdicts.forProgram(c.progCanon)
+	prep, hit, err := eval.DefaultPlanCache.GetOrBuildCanonical(c.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
+		return eval.Prepare(p, eval.Options{})
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Checker{
-		prog:     prep.Program(),
-		prep:     prep,
-		verdicts: make(map[string]bool),
-		frozen:   make(map[string]frozenRule),
-	}, nil
+	c.prep = prep
+	if hit {
+		c.stats.PrepareHits++
+	} else {
+		c.stats.PrepareMisses++
+	}
+	return c, nil
 }
+
+// Program returns the session's containing program. Callers must not
+// mutate it.
+func (c *Checker) Program() *ast.Program { return c.prog }
+
+// Stats reports the session's cache behavior: plan-cache hits/misses
+// observed by NewChecker/Derive and verdicts carried across Derive versus
+// decided by a fresh chase. Derived Checkers share their parent's
+// counters, so the totals describe the whole session lineage.
+func (c *Checker) Stats() eval.Stats { return *c.stats }
 
 // frozenFor returns the cached frozen head and body of r. The body database
 // is shared across calls; every consumer clones before mutating (the
@@ -142,22 +209,56 @@ func (c *Checker) frozenFor(r ast.Rule) (ast.GroundAtom, *db.Database) {
 }
 
 // ContainsRule decides r ⊑ᵘ P for the session program P (Corollary 2),
-// memoizing the verdict per rule. The test is exact and always terminates.
+// memoizing the verdict per rule in the program's content-addressed table —
+// the verdict is semantic, invariant under variable renaming on both sides,
+// so any session over a canonically equal program shares it. The deciding
+// evaluation records rule provenance so a later Derive can tell which
+// verdicts a deletion might invalidate.
 func (c *Checker) ContainsRule(r ast.Rule) (bool, error) {
 	if r.HasNegation() {
 		return false, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
 	}
-	key := r.String()
-	if v, ok := c.verdicts[key]; ok {
-		return v, nil
+	ckey := r.CanonicalString()
+	if v, ok := c.pv.get(ckey); ok {
+		c.stats.VerdictsReused++
+		return v.ok, nil
 	}
 	head, body := c.frozenFor(r)
-	_, reached, _, err := c.prep.EvalGoal(body, &head, 0)
+	var prov eval.RuleSet
+	_, reached, _, err := c.prep.EvalGoalProv(body, &head, 0, &prov)
 	if err != nil {
 		return false, err
 	}
-	c.verdicts[key] = reached
+	c.stats.VerdictsRecomputed++
+	v := verdict{ok: reached, goal: head.Pred}
+	if reached {
+		v.prov = prov
+	}
+	c.pv.put(ckey, v)
 	return reached, nil
+}
+
+// depGraph returns the dependence graph of the session program, built once.
+func (c *Checker) depGraph() *depgraph.Graph {
+	if c.graph == nil {
+		c.graph = depgraph.Build(c.prog)
+	}
+	return c.graph
+}
+
+// reachableFrom memoizes depGraph().ReachableFrom per source predicate: the
+// minimization loops probe many deltas whose changed rules share head
+// predicates, and the memo travels down the Derive lineage with the graph.
+func (c *Checker) reachableFrom(pred string) map[string]bool {
+	if r, ok := c.reach[pred]; ok {
+		return r
+	}
+	r := c.depGraph().ReachableFrom(pred)
+	if c.reach == nil {
+		c.reach = make(map[string]map[string]bool)
+	}
+	c.reach[pred] = r
+	return r
 }
 
 // Contains decides P₂ ⊑ᵘ P for the session program P, rule by rule, with
@@ -173,6 +274,195 @@ func (c *Checker) Contains(p2 *ast.Program) (bool, int, error) {
 		}
 	}
 	return true, -1, nil
+}
+
+// Delta describes one accepted mutation of the session program, of the two
+// kinds the Fig. 1/2 minimization loops produce: RuleIndex names a rule of
+// Program(); a nil NewRule deletes it (Fig. 2 rule removal), a non-nil
+// NewRule replaces it (Fig. 1 atom removal — a body-subset weakening of the
+// old rule, which is what makes verdict transfer possible).
+type Delta struct {
+	RuleIndex int
+	NewRule   *ast.Rule
+}
+
+// Derive returns the Checker session for the program obtained by applying
+// delta to this session's program — without re-running the full preparation
+// and without re-deciding every memoized verdict. The prepared plan comes
+// from the shared plan cache or, on a miss, from delta-patching this
+// session's plan (eval.Prepared.Derive). Frozen heads and bodies depend
+// only on the tested rule, never on the session program, so they all carry
+// over. Memoized verdicts carry over exactly when the delta provably
+// cannot flip them:
+//
+//   - Rule deletion shrinks derivability, so every negative verdict stays
+//     negative. A positive verdict survives if its witnessing derivation
+//     avoided the deleted rule — either the recorded provenance excludes it
+//     (O(1) bitset test) or the goal predicate is unreachable from the
+//     deleted rule's head in the old dependence graph, in which case no
+//     derivation of the goal could have used it. Kept provenance sets are
+//     reindexed for the shortened rule list.
+//   - Replacing a rule by a weakening of itself (same head, body a
+//     sub-multiset of the old body) grows derivability — every firing of
+//     the old rule is replicated by the new one under the restricted
+//     substitution — so every positive verdict stays positive, with its
+//     provenance intact (rule indexes are unchanged). A negative verdict
+//     survives if the goal predicate is unreachable from the changed rule's
+//     head in the new dependence graph: any derivation that exists now but
+//     not before must use the new rule, hence reach the goal through its
+//     head predicate.
+//   - A replacement that is not a weakening transfers no verdicts (the
+//     plan and frozen bodies still carry over).
+//
+// The original Checker remains fully usable; nothing is shared mutably.
+func (c *Checker) Derive(delta Delta) (*Checker, error) {
+	if delta.RuleIndex < 0 || delta.RuleIndex >= len(c.prog.Rules) {
+		return nil, fmt.Errorf("chase: Derive: rule index %d out of range (%d rules)", delta.RuleIndex, len(c.prog.Rules))
+	}
+	if delta.NewRule != nil && delta.NewRule.HasNegation() {
+		return nil, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
+	}
+	np := ast.NewProgram()
+	np.Rules = make([]ast.Rule, 0, len(c.prog.Rules))
+	lines := make([]string, 0, len(c.prog.Rules))
+	for i, r := range c.prog.Rules {
+		switch {
+		case i == delta.RuleIndex && delta.NewRule == nil:
+			continue
+		case i == delta.RuleIndex:
+			np.Rules = append(np.Rules, delta.NewRule.Clone())
+			lines = append(lines, delta.NewRule.CanonicalString()+"\n")
+		default:
+			np.Rules = append(np.Rules, r)
+			lines = append(lines, c.ruleCanon[i])
+		}
+	}
+	nc := &Checker{
+		prog:      np,
+		progCanon: joinCanon(lines), // only the delta rule was re-rendered
+		ruleCanon: lines,
+		frozen:    make(map[string]frozenRule, len(c.frozen)),
+		stats:     c.stats, // shared: the lineage is one session
+		// The graph and reachability memo are shared down the lineage; the
+		// ancestor's edges over-approximate every descendant's, which is the
+		// sound direction for transfer (see the field comment).
+		graph: c.graph,
+		reach: c.reach,
+	}
+	nc.pv = defaultVerdicts.forProgram(nc.progCanon)
+	prep, hit, err := eval.DefaultPlanCache.GetOrBuildCanonical(nc.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
+		return c.prep.Derive(delta.RuleIndex, delta.NewRule)
+	})
+	if err != nil {
+		return nil, err
+	}
+	nc.prep = prep
+	if hit {
+		nc.stats.PrepareHits++
+	} else {
+		nc.stats.PrepareMisses++
+	}
+	for k, f := range c.frozen {
+		nc.frozen[k] = f
+	}
+
+	// Transfer surviving verdicts into the new program's shared table (they
+	// are correct verdicts for its content address, so publishing them lets
+	// every future session over that program benefit). Reachability is
+	// computed lazily — many transfers are decided by the provenance bitset
+	// or the verdict's sign alone — and on the session's cached graph, so
+	// probing many candidate deltas from one session builds it once.
+	if delta.NewRule == nil {
+		var reach map[string]bool
+		reachable := func(pred string) bool {
+			if reach == nil {
+				reach = c.reachableFrom(c.prog.Rules[delta.RuleIndex].Head.Pred)
+			}
+			return reach[pred]
+		}
+		for _, e := range c.pv.entries() {
+			switch {
+			case !e.v.ok:
+				nc.pv.putAbsent(e.k, e.v)
+			case !e.v.prov.Has(delta.RuleIndex) || !reachable(e.v.goal):
+				nc.pv.putAbsent(e.k, verdict{ok: true, goal: e.v.goal, prov: e.v.prov.WithoutShifted(delta.RuleIndex)})
+			}
+		}
+		return nc, nil
+	}
+	if !isWeakening(c.prog.Rules[delta.RuleIndex], *delta.NewRule) {
+		return nc, nil
+	}
+	// A negative verdict survives if the goal is unreachable from the
+	// changed rule's head in the NEW graph. The old graph's edges are a
+	// superset (the delta only removes body atoms), so testing on the old —
+	// already cached — graph is a sound, slightly conservative stand-in:
+	// unreachable-in-old implies unreachable-in-new.
+	var reach map[string]bool
+	reachable := func(pred string) bool {
+		if reach == nil {
+			reach = c.reachableFrom(delta.NewRule.Head.Pred)
+		}
+		return reach[pred]
+	}
+	for _, e := range c.pv.entries() {
+		if e.v.ok || !reachable(e.v.goal) {
+			nc.pv.putAbsent(e.k, e.v)
+		}
+	}
+	return nc, nil
+}
+
+// isWeakening reports whether nr is old with zero or more body atoms
+// removed: identical head, positive and negated bodies sub-multisets of
+// old's. Replacing a rule by a weakening can only grow derivability.
+func isWeakening(old, nr ast.Rule) bool {
+	return nr.Head.Equal(old.Head) &&
+		subMultiset(nr.Body, old.Body) &&
+		subMultiset(nr.NegBody, old.NegBody)
+}
+
+// joinCanon concatenates per-rule canonical lines into the program's
+// canonical form (each line is newline-terminated).
+func joinCanon(lines []string) string {
+	n := 0
+	for _, l := range lines {
+		n += len(l)
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	for _, l := range lines {
+		sb.WriteString(l)
+	}
+	return sb.String()
+}
+
+// subMultiset reports whether sub is a sub-multiset of sup under syntactic
+// atom equality. Bodies are short, so quadratic matching with a used mask
+// beats building keyed maps.
+func subMultiset(sub, sup []ast.Atom) bool {
+	if len(sub) > len(sup) {
+		return false
+	}
+	var used [32]bool
+	usedSlice := used[:]
+	if len(sup) > len(usedSlice) {
+		usedSlice = make([]bool, len(sup))
+	}
+	for _, a := range sub {
+		found := false
+		for j := range sup {
+			if !usedSlice[j] && a.Equal(sup[j]) {
+				usedSlice[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // UniformlyContainsRule decides r ⊑ᵘ p for a single rule r: whether every

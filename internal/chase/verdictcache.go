@@ -1,0 +1,109 @@
+package chase
+
+import "sync"
+
+// The verdict store is a content-addressed memo of uniform-containment
+// verdicts: program canonical form → (rule canonical form → verdict). The
+// verdict of r ⊑ᵘ P is an exact semantic property, invariant under renaming
+// the variables of either side, so it can be shared across sessions, across
+// the Fig. 1/2 loops, and across repeated requests that revisit the same
+// programs — a new Checker over an already-seen program answers without
+// chasing at all. Provenance sets stored with positive verdicts transfer
+// too: canonical form preserves rule order, so rule indexes mean the same
+// thing in every program sharing the address.
+//
+// The two-level shape is deliberate: a Checker resolves its program's inner
+// table once at construction, so the per-test key is just the rule's
+// canonical form instead of a program-sized concatenation.
+//
+// The outer store is bounded by generational rotation: when the live
+// generation fills, it becomes the previous generation and a fresh one
+// starts; programs untouched for two generations are dropped. This keeps
+// the footprint flat for long-lived processes at O(1) per operation.
+// Sessions holding a rotated-out table keep working; they just stop being
+// discoverable by new sessions.
+type verdictStore struct {
+	mu   sync.Mutex
+	max  int
+	cur  map[string]*progVerdicts
+	prev map[string]*progVerdicts
+}
+
+// progVerdicts is the verdict table of one program content address. It is
+// shared by every session over a canonically equal program, so it carries
+// its own lock (Checkers are single-threaded, but distinct sessions may
+// run concurrently).
+type progVerdicts struct {
+	mu sync.Mutex
+	m  map[string]verdict
+}
+
+// defaultVerdictStoreSize bounds each generation of program tables; two
+// generations may be live at once.
+const defaultVerdictStoreSize = 1024
+
+var defaultVerdicts = &verdictStore{max: defaultVerdictStoreSize, cur: make(map[string]*progVerdicts)}
+
+// forProgram returns the (shared) verdict table for the program with the
+// given canonical form, creating it if needed.
+func (vs *verdictStore) forProgram(progCanon string) *progVerdicts {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if pv, ok := vs.cur[progCanon]; ok {
+		return pv
+	}
+	if pv, ok := vs.prev[progCanon]; ok {
+		vs.insertLocked(progCanon, pv) // promote so reuse keeps it alive
+		return pv
+	}
+	pv := &progVerdicts{m: make(map[string]verdict)}
+	vs.insertLocked(progCanon, pv)
+	return pv
+}
+
+func (vs *verdictStore) insertLocked(progCanon string, pv *progVerdicts) {
+	if len(vs.cur) >= vs.max {
+		vs.prev = vs.cur
+		vs.cur = make(map[string]*progVerdicts, vs.max)
+	}
+	vs.cur[progCanon] = pv
+}
+
+func (pv *progVerdicts) get(ruleCanon string) (verdict, bool) {
+	pv.mu.Lock()
+	defer pv.mu.Unlock()
+	v, ok := pv.m[ruleCanon]
+	return v, ok
+}
+
+func (pv *progVerdicts) put(ruleCanon string, v verdict) {
+	pv.mu.Lock()
+	defer pv.mu.Unlock()
+	pv.m[ruleCanon] = v
+}
+
+// putAbsent stores v unless an entry exists (transfer must not clobber an
+// entry another session computed — both are correct, the first one wins).
+func (pv *progVerdicts) putAbsent(ruleCanon string, v verdict) {
+	pv.mu.Lock()
+	defer pv.mu.Unlock()
+	if _, ok := pv.m[ruleCanon]; !ok {
+		pv.m[ruleCanon] = v
+	}
+}
+
+// entries copies the table for iteration outside the lock.
+func (pv *progVerdicts) entries() []verdictEntry {
+	pv.mu.Lock()
+	defer pv.mu.Unlock()
+	out := make([]verdictEntry, 0, len(pv.m))
+	for k, v := range pv.m {
+		out = append(out, verdictEntry{k: k, v: v})
+	}
+	return out
+}
+
+type verdictEntry struct {
+	k string
+	v verdict
+}

@@ -135,9 +135,16 @@ func Eval(p *Program, input *Database, opts EvalOptions) (*Database, EvalStats, 
 // PrepareEval validates p once and caches its evaluation plan (strata/SCC
 // schedule, compiled rules, index needs); the returned Prepared evaluates
 // any number of databases without re-planning and is safe for concurrent
-// use.
+// use. Plans are served from the process-wide content-addressed cache, so
+// preparing a program canonically equal to one seen before is a lookup.
 func PrepareEval(p *Program, opts EvalOptions) (*Prepared, error) {
-	return eval.Prepare(p, opts)
+	return eval.PrepareCached(p, opts)
+}
+
+// PlanCacheStats reports the process-wide plan cache's hit/miss/eviction
+// counters and current size.
+func PlanCacheStats() eval.CacheStats {
+	return eval.DefaultPlanCache.Stats()
 }
 
 // NewContainmentChecker opens a uniform-containment session whose

@@ -319,8 +319,10 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 	}
 	cur := p.Clone()
 	// One containment session and one preservation session serve every
-	// candidate probed against the current program; they are rebuilt only
-	// when a candidate is applied and the program actually changes.
+	// candidate probed against the current program. When a candidate is
+	// applied the containment session is delta-derived rather than rebuilt;
+	// the preservation session is reconstructed, but its prepared plans come
+	// from the shared content-addressed cache.
 	ck, err := chase.NewChecker(cur)
 	if err != nil {
 		return nil, nil, err
@@ -349,7 +351,12 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 						TGD:       c.TGD,
 					})
 					cur = p2
-					if ck, err = chase.NewChecker(cur); err != nil {
+					// The applied candidate replaced rule i by a body-subset
+					// of itself — exactly the weakening delta the containment
+					// layer can patch: the session keeps its plan, frozen
+					// bodies and every verdict the weakening cannot flip.
+					nr := cur.Rules[i]
+					if ck, err = ck.Derive(chase.Delta{RuleIndex: i, NewRule: &nr}); err != nil {
 						return nil, removals, err
 					}
 					if ps, err = preserve.NewSession(cur); err != nil {

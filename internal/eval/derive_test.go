@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func mustParseProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	res, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return res.Program
+}
+
+func parseFacts(t *testing.T, src string) *db.Database {
+	t.Helper()
+	res, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse facts: %v", err)
+	}
+	return db.FromFacts(res.Facts)
+}
+
+// TestPreparedDeriveStratified checks the strata-scheduled path of
+// Prepared.Derive: deleting a rule from a program with negation must yield
+// a plan that evaluates exactly like a fresh Prepare of the shortened
+// program, and units of untouched strata must be shared with the parent
+// plan rather than rebuilt.
+func TestPreparedDeriveStratified(t *testing.T) {
+	p := mustParseProgram(t, `
+		Reach(x, y) :- Edge(x, y).
+		Reach(x, z) :- Reach(x, y), Edge(y, z).
+		Isolated(x) :- Node(x), !Touched(x).
+		Touched(x) :- Edge(x, y).
+		Touched(y) :- Edge(x, y).
+	`)
+	prep, err := Prepare(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the recursive Reach rule (index 1).
+	dp, err := prep.Derive(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Prepare(p.WithoutRule(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := parseFacts(t, `
+		Node(0). Node(1). Node(2). Node(3).
+		Edge(0, 1). Edge(1, 2).
+	`)
+	got, _, err := dp.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := fresh.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("derived plan output differs from fresh plan:\nderived:\n%s\nfresh:\n%s", got, want)
+	}
+	// The Isolated/Touched strata do not mention Reach, so their schedule
+	// groups are unchanged and at least one unit must be shared by pointer
+	// with the parent plan.
+	shared := 0
+	for _, u := range dp.units {
+		for _, pu := range prep.units {
+			if u == pu {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatalf("derived stratified plan shares no units with its parent (units=%d)", len(dp.units))
+	}
+}
+
+// TestPreparedDeriveReplacementStratified checks the replacement form on
+// the strata path: weakening a rule's body yields the same model as a fresh
+// plan for the replaced program.
+func TestPreparedDeriveReplacementStratified(t *testing.T) {
+	p := mustParseProgram(t, `
+		Big(x) :- Node(x), Edge(x, x), !Small(x).
+		Small(x) :- Low(x).
+	`)
+	prep, err := Prepare(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := p.Rules[0].WithoutBodyAtom(1) // drop Edge(x, x)
+	dp, err := prep.Derive(0, &nr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Prepare(p.ReplaceRule(0, nr), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := parseFacts(t, `
+		Node(0). Node(1).
+		Edge(0, 0).
+		Low(1).
+	`)
+	got, _, err := dp.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := fresh.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("derived replacement plan output differs:\nderived:\n%s\nfresh:\n%s", got, want)
+	}
+}
+
+// TestPreparedDeriveChainPure walks a chain of deletions on a pure program,
+// comparing each derived plan's full model against a fresh Prepare — the
+// SCC-group path of Derive (no strata involved).
+func TestPreparedDeriveChainPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := workload.InjectRedundantRules(workload.TransitiveClosure(), 3, rng)
+	if p.Validate() != nil {
+		t.Fatal("workload generated an invalid program")
+	}
+	prep, err := Prepare(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := p.Clone()
+	d := parseFacts(t, `A(0, 1). A(1, 2). A(2, 3).`)
+	for len(cur.Rules) > 1 {
+		dp, err := prep.Derive(len(cur.Rules)-1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = cur.WithoutRule(len(cur.Rules) - 1)
+		fresh, err := Prepare(cur, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := dp.Eval(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := fresh.Eval(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("chain step at %d rules: derived output differs from fresh", len(cur.Rules))
+		}
+		prep = dp
+	}
+}

@@ -67,7 +67,9 @@ type Options struct {
 	Goal *ast.GroundAtom
 }
 
-// Stats reports work done by an evaluation.
+// Stats reports work done by an evaluation. The cache fields are filled by
+// session layers (the plan cache, the containment sessions) rather than by a
+// single evaluation; a one-shot Eval leaves them zero.
 type Stats struct {
 	// Rounds is the number of fixpoint iterations (including the final empty
 	// one that detects convergence).
@@ -77,6 +79,24 @@ type Stats struct {
 	Firings int
 	// Added is the number of new facts derived.
 	Added int
+	// PrepareHits / PrepareMisses count plan-cache lookups made on the
+	// session's behalf: a hit reused an existing *Prepared, a miss had to
+	// build one (by full preparation or by delta-patching an existing plan).
+	PrepareHits   int
+	PrepareMisses int
+	// VerdictsReused / VerdictsRecomputed count memoized containment
+	// verdicts carried across a Checker.Derive versus decided by running a
+	// fresh goal-directed chase.
+	VerdictsReused     int
+	VerdictsRecomputed int
+}
+
+// AddCache accumulates o's cache counters into s.
+func (s *Stats) AddCache(o Stats) {
+	s.PrepareHits += o.PrepareHits
+	s.PrepareMisses += o.PrepareMisses
+	s.VerdictsReused += o.VerdictsReused
+	s.VerdictsRecomputed += o.VerdictsRecomputed
 }
 
 // Eval computes P(input): the least DB containing input and closed under the

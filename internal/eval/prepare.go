@@ -34,6 +34,13 @@ type Prepared struct {
 	prog  *ast.Program
 	opts  Options
 	units []*unit
+	// unitIdxs[i] lists the program rule indexes of units[i].rules, in the
+	// same order. It belongs to this Prepared, not to the unit: Derive
+	// shares unchanged units between plans whose programs index the same
+	// rules differently, so each owner keeps its own mapping. It is what
+	// lets the provenance path translate a unit-local firing into a program
+	// rule index.
+	unitIdxs [][]int
 
 	// One-step application of the whole program in a fixed order, built on
 	// first use by NonRecursive / IsClosed.
@@ -73,22 +80,31 @@ func Prepare(p *ast.Program, opts Options) (*Prepared, error) {
 		return nil, err
 	}
 	pr := &Prepared{prog: p.Clone(), opts: opts}
-	p = pr.prog
+	groups, err := scheduleGroups(pr.prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, group := range groups {
+		pr.units = append(pr.units, newUnit(pr.prog, group))
+		pr.unitIdxs = append(pr.unitIdxs, group)
+	}
+	return pr, nil
+}
+
+// scheduleGroups computes the evaluation schedule of p under opts as groups
+// of rule indexes, one group per fixpoint unit, in evaluation order: SCC
+// groups (producer-first) for pure programs, strata for programs with
+// negation, a single group under NoSCCOrder. Empty groups are not emitted.
+func scheduleGroups(p *ast.Program, opts Options) ([][]int, error) {
 	if !p.HasNegation() {
 		if opts.NoSCCOrder {
-			pr.units = append(pr.units, &unit{rules: p.Rules, dynamic: p.IDBPredicates()})
-			return pr, nil
-		}
-		for _, group := range sccRuleGroups(p) {
-			dyn := make(map[string]bool)
-			var rules []ast.Rule
-			for _, ri := range group {
-				rules = append(rules, p.Rules[ri])
-				dyn[p.Rules[ri].Head.Pred] = true
+			all := make([]int, len(p.Rules))
+			for i := range all {
+				all[i] = i
 			}
-			pr.units = append(pr.units, &unit{rules: rules, dynamic: dyn})
+			return [][]int{all}, nil
 		}
-		return pr, nil
+		return sccRuleGroups(p), nil
 	}
 	// Stratified negation: one unit per stratum; by stratification a negated
 	// predicate is complete before any rule reading it runs.
@@ -96,25 +112,118 @@ func Prepare(p *ast.Program, opts Options) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	var groups [][]int
 	for _, stratum := range strata {
 		inStratum := make(map[string]bool, len(stratum))
 		for _, pred := range stratum {
 			inStratum[pred] = true
 		}
-		var rules []ast.Rule
-		dyn := make(map[string]bool)
-		for _, r := range p.Rules {
+		var group []int
+		for ri, r := range p.Rules {
 			if inStratum[r.Head.Pred] {
-				rules = append(rules, r)
-				dyn[r.Head.Pred] = true
+				group = append(group, ri)
 			}
 		}
-		if len(rules) == 0 {
-			continue
+		if len(group) > 0 {
+			groups = append(groups, group)
 		}
-		pr.units = append(pr.units, &unit{rules: rules, dynamic: dyn})
 	}
-	return pr, nil
+	return groups, nil
+}
+
+// newUnit builds the fixpoint unit for one schedule group of p. The unit's
+// dynamic set is the head predicates of its own rules: for an SCC group
+// that is the component's mutually recursive predicates, for a stratum the
+// stratum's intentional predicates, and for the NoSCCOrder whole-program
+// group exactly p.IDBPredicates().
+func newUnit(p *ast.Program, group []int) *unit {
+	rules := make([]ast.Rule, len(group))
+	dyn := make(map[string]bool)
+	for j, ri := range group {
+		rules[j] = p.Rules[ri]
+		dyn[p.Rules[ri].Head.Pred] = true
+	}
+	return &unit{rules: rules, dynamic: dyn}
+}
+
+// idxKey packs a rule-index list into a map key.
+func idxKey(idxs []int) string {
+	b := make([]byte, 0, 4*len(idxs))
+	for _, i := range idxs {
+		b = append(b, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+	}
+	return string(b)
+}
+
+// Derive builds the plan for the program obtained from the prepared one by
+// a single-rule delta — deleting rule ruleIdx (newRule nil) or replacing it
+// (newRule non-nil) — without re-running the full preparation. A one-rule
+// change only perturbs the schedule units whose rule sets actually change:
+// the schedule is recomputed (cheap graph work), but every group that maps
+// onto an identical group of the old plan shares the old unit pointer, and
+// with it the unit's compiled rules and join-order caches. Units are
+// internally synchronized, so sharing them between plans is safe; the
+// rules inside are treated as immutable by the whole package.
+func (pr *Prepared) Derive(ruleIdx int, newRule *ast.Rule) (*Prepared, error) {
+	if ruleIdx < 0 || ruleIdx >= len(pr.prog.Rules) {
+		return nil, fmt.Errorf("eval: Derive: rule index %d out of range (%d rules)", ruleIdx, len(pr.prog.Rules))
+	}
+	np := ast.NewProgram()
+	np.Rules = make([]ast.Rule, 0, len(pr.prog.Rules))
+	for i, r := range pr.prog.Rules {
+		switch {
+		case i == ruleIdx && newRule == nil:
+			continue
+		case i == ruleIdx:
+			np.Rules = append(np.Rules, newRule.Clone())
+		default:
+			np.Rules = append(np.Rules, r)
+		}
+	}
+	if err := np.Validate(); err != nil {
+		return nil, err
+	}
+	groups, err := scheduleGroups(np, pr.opts)
+	if err != nil {
+		return nil, err
+	}
+	// Old units by their rule-index lists; a new group is the same unit iff
+	// its rules map to exactly that list (same rules, same order).
+	oldUnits := make(map[string]*unit, len(pr.units))
+	for ui, idxs := range pr.unitIdxs {
+		oldUnits[idxKey(idxs)] = pr.units[ui]
+	}
+	toOld := func(newIdx int) int {
+		if newRule == nil && newIdx >= ruleIdx {
+			return newIdx + 1
+		}
+		return newIdx
+	}
+	out := &Prepared{prog: np, opts: pr.opts}
+	mapped := make([]int, 0, len(np.Rules))
+	for _, group := range groups {
+		reuse := true
+		mapped = mapped[:0]
+		for _, ni := range group {
+			oi := toOld(ni)
+			mapped = append(mapped, oi)
+			if newRule != nil && oi == ruleIdx {
+				// The replaced rule lives in this group; its unit holds the
+				// old rule's compiled form and must be rebuilt.
+				reuse = false
+			}
+		}
+		var u *unit
+		if reuse {
+			u = oldUnits[idxKey(mapped)]
+		}
+		if u == nil {
+			u = newUnit(np, group)
+		}
+		out.units = append(out.units, u)
+		out.unitIdxs = append(out.unitIdxs, group)
+	}
+	return out, nil
 }
 
 // Program returns the prepared program (the clone taken at Prepare time).
@@ -126,7 +235,7 @@ func (pr *Prepared) Program() *ast.Program { return pr.prog }
 // stops as soon as the goal atom is derived (it is then present in the
 // returned database).
 func (pr *Prepared) Eval(input *db.Database) (*db.Database, Stats, error) {
-	out, _, stats, err := pr.run(input, pr.opts.Goal, pr.opts.MaxDerived)
+	out, _, stats, err := pr.run(input, pr.opts.Goal, pr.opts.MaxDerived, nil)
 	return out, stats, err
 }
 
@@ -138,10 +247,22 @@ func (pr *Prepared) Eval(input *db.Database) (*db.Database, Stats, error) {
 // frozen head is derivable, never for the full fixpoint. A nil goal
 // saturates fully and reports false.
 func (pr *Prepared) EvalGoal(input *db.Database, goal *ast.GroundAtom, maxDerived int) (*db.Database, bool, Stats, error) {
-	return pr.run(input, goal, maxDerived)
+	return pr.run(input, goal, maxDerived, nil)
 }
 
-func (pr *Prepared) run(input *db.Database, goal *ast.GroundAtom, maxDerived int) (*db.Database, bool, Stats, error) {
+// EvalGoalProv is EvalGoal additionally recording rule provenance: every
+// program rule that derived at least one new fact before evaluation halted
+// is added to prov (indexes into Program().Rules). The recorded set is a
+// superset of the rules used by any derivation present in the output — in
+// particular, of some witnessing derivation of the goal when it is reached
+// — which is exactly the conservative guarantee the containment layer needs
+// to keep a memoized verdict across a rule deletion: if a deleted rule is
+// not in prov, no derivation the evaluation produced could have used it.
+func (pr *Prepared) EvalGoalProv(input *db.Database, goal *ast.GroundAtom, maxDerived int, prov *RuleSet) (*db.Database, bool, Stats, error) {
+	return pr.run(input, goal, maxDerived, prov)
+}
+
+func (pr *Prepared) run(input *db.Database, goal *ast.GroundAtom, maxDerived int, prov *RuleSet) (*db.Database, bool, Stats, error) {
 	var stats Stats
 	d := input.Clone()
 	if goal != nil && d.Has(*goal) {
@@ -150,8 +271,12 @@ func (pr *Prepared) run(input *db.Database, goal *ast.GroundAtom, maxDerived int
 	opts := pr.opts
 	opts.MaxDerived = maxDerived
 	baseLen := input.Len()
-	for _, u := range pr.units {
-		if err := u.fixpoint(d, opts, &stats, baseLen, goal); err != nil {
+	for ui, u := range pr.units {
+		var ruleIdxs []int
+		if prov != nil {
+			ruleIdxs = pr.unitIdxs[ui]
+		}
+		if err := u.fixpoint(d, opts, &stats, baseLen, goal, prov, ruleIdxs); err != nil {
 			if errors.Is(err, errGoal) {
 				return d, true, stats, nil
 			}
@@ -323,8 +448,10 @@ func (u *unit) build(perms [][]int, opts Options) *roundSetup {
 
 // fixpoint runs the chosen strategy over the unit's rules, mutating d in
 // place. A non-nil goal halts evaluation via errGoal as soon as the goal
-// atom is derived.
-func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom) error {
+// atom is derived. A non-nil prov collects the program rule indexes (via
+// ruleIdxs, the owner Prepared's unit-local → program mapping) of every
+// rule that derived at least one new fact.
+func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom, prov *RuleSet, ruleIdxs []int) error {
 	var rs *roundSetup
 	// prepare picks the setup for the current relation sizes; the greedy
 	// join-order heuristic sees live cardinalities at every round boundary,
@@ -396,7 +523,20 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 				stopFn = func() bool { return stop }
 			}
 			for _, v := range variants {
-				if err := fireInto(v.idx, v.windows, stats, emit, stopFn); err != nil {
+				em := emit
+				if prov != nil {
+					// Wrap per variant so a successful emission credits the
+					// firing rule's program index.
+					ridx := ruleIdxs[v.idx]
+					em = func(pred string, args []ast.Const) bool {
+						if emit(pred, args) {
+							prov.Add(ridx)
+							return true
+						}
+						return false
+					}
+				}
+				if err := fireInto(v.idx, v.windows, stats, em, stopFn); err != nil {
 					return err
 				}
 				if goalHit {
@@ -421,18 +561,18 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 		// emit time, so every re-fire either completes the round or strictly
 		// grows the database until the budget genuinely runs out. A goal
 		// sighting is exact (the goal is ground, so any emission of it is
-		// the goal), so it is checked after the merge, before the budget.
+		// the goal), so it is checked after the merge, before the budget. It
+		// deliberately does NOT abort in-flight variants: cutting peers off
+		// mid-enumeration would make the merged partial database depend on
+		// goroutine scheduling, whereas completing the round keeps
+		// goal-directed parallel evaluation deterministic (and identical to
+		// a sequential run's round boundary).
 		var tentative atomic.Int64
 		var tripped atomic.Bool
 		var goalHit atomic.Bool
 		var stopFn func() bool
-		switch {
-		case opts.MaxDerived > 0 && goal != nil:
-			stopFn = func() bool { return tripped.Load() || goalHit.Load() }
-		case opts.MaxDerived > 0:
+		if opts.MaxDerived > 0 {
 			stopFn = func() bool { return tripped.Load() }
-		case goal != nil:
-			stopFn = func() bool { return goalHit.Load() }
 		}
 		for {
 			tentative.Store(int64(d.Len() - baseLen))
@@ -473,10 +613,17 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 					return errs[vi]
 				}
 				stats.Firings += statsArr[vi].Firings
+				merged := 0
 				for _, pf := range buffers[vi] {
 					if d.AddTuple(pf.pred, pf.args) {
 						stats.Added++
+						merged++
 					}
+				}
+				// The merge runs single-threaded after the round's workers
+				// join, so provenance updates need no synchronization.
+				if prov != nil && merged > 0 {
+					prov.Add(ruleIdxs[variants[vi].idx])
 				}
 			}
 			if goalHit.Load() {

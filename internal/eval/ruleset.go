@@ -1,0 +1,61 @@
+package eval
+
+import "math/bits"
+
+// RuleSet is a bitset over the rule indexes of a program (the order of
+// Prepared.Program().Rules). The containment layer records, per memoized
+// verdict, the set of rules that fired during the deciding evaluation; a
+// later single-rule deletion can then keep the verdict with an O(1) bitset
+// test instead of re-running the chase.
+type RuleSet struct {
+	bits []uint64
+}
+
+// Add inserts rule index i.
+func (s *RuleSet) Add(i int) {
+	w := i >> 6
+	for len(s.bits) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether rule index i is in the set.
+func (s *RuleSet) Has(i int) bool {
+	w := i >> 6
+	if w >= len(s.bits) {
+		return false
+	}
+	return s.bits[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Empty reports whether the set holds no index.
+func (s *RuleSet) Empty() bool {
+	for _, w := range s.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WithoutShifted returns a copy of the set with index del removed and every
+// index above del shifted down by one — the index remapping a single-rule
+// deletion induces on provenance sets.
+func (s *RuleSet) WithoutShifted(del int) RuleSet {
+	var out RuleSet
+	for w, word := range s.bits {
+		for word != 0 {
+			b := word & (-word)
+			word &^= b
+			i := w<<6 + bits.TrailingZeros64(b)
+			switch {
+			case i < del:
+				out.Add(i)
+			case i > del:
+				out.Add(i - 1)
+			}
+		}
+	}
+	return out
+}

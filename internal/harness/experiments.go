@@ -195,7 +195,7 @@ func E2UniformContainment() Table {
 // E3MinimizeRule measures Fig. 1 on rules with k injected redundant atoms.
 func E3MinimizeRule() Table {
 	t := Table{ID: "E3", Title: "rule minimization (Fig. 1) vs injected redundancy",
-		Columns: []string{"injected k", "body before", "body after", "atoms removed", "time"}}
+		Columns: []string{"injected k", "body before", "body after", "atoms removed", "plan hit/miss", "verdicts memo/chase", "time"}}
 	base := workload.TransitiveClosure().Rules[1]
 	for _, k := range []int{0, 1, 2, 4, 8} {
 		rng := rand.New(rand.NewSource(int64(k) + 1))
@@ -209,7 +209,10 @@ func E3MinimizeRule() Table {
 				panic(err)
 			}
 		})
-		t.AddRow(k, len(r.Body), len(min.Body), trace.AtomsRemoved(), ms(d))
+		t.AddRow(k, len(r.Body), len(min.Body), trace.AtomsRemoved(),
+			fmt.Sprintf("%d/%d", trace.Stats.PrepareHits, trace.Stats.PrepareMisses),
+			fmt.Sprintf("%d/%d", trace.Stats.VerdictsReused, trace.Stats.VerdictsRecomputed),
+			ms(d))
 	}
 	return t
 }
@@ -218,7 +221,7 @@ func E3MinimizeRule() Table {
 // rules and atoms.
 func E4MinimizeProgram() Table {
 	t := Table{ID: "E4", Title: "program minimization (Fig. 2) vs injected redundant rules",
-		Columns: []string{"injected rules", "rules before/after", "atoms before/after", "removed (rules/atoms)", "time"}}
+		Columns: []string{"injected rules", "rules before/after", "atoms before/after", "removed (rules/atoms)", "plan hit/miss", "verdicts memo/chase", "time"}}
 	for _, k := range []int{0, 2, 4, 8} {
 		rng := rand.New(rand.NewSource(int64(k) + 11))
 		p := workload.InjectRedundantRules(workload.TransitiveClosure(), k, rng)
@@ -235,6 +238,8 @@ func E4MinimizeProgram() Table {
 			fmt.Sprintf("%d/%d", len(p.Rules), len(min.Rules)),
 			fmt.Sprintf("%d/%d", p.BodyAtomCount(), min.BodyAtomCount()),
 			fmt.Sprintf("%d/%d", trace.RulesRemoved(), trace.AtomsRemoved()),
+			fmt.Sprintf("%d/%d", trace.Stats.PrepareHits, trace.Stats.PrepareMisses),
+			fmt.Sprintf("%d/%d", trace.Stats.VerdictsReused, trace.Stats.VerdictsRecomputed),
 			ms(d))
 	}
 	return t

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/chase"
+	"repro/internal/eval"
 )
 
 // Options configures minimization.
@@ -51,6 +52,10 @@ type AtomRemoval struct {
 type Trace struct {
 	AtomRemovals []AtomRemoval
 	RuleRemovals []ast.Rule
+	// Stats carries the containment session's cache counters: plan-cache
+	// hits/misses and verdicts reused across accepted deletions versus
+	// decided by a fresh chase.
+	Stats eval.Stats
 }
 
 // AtomsRemoved returns the number of deleted body atoms.
@@ -63,10 +68,11 @@ func (t Trace) RulesRemoved() int { return len(t.RuleRemovals) }
 // returned rule is uniformly equivalent to r and has no redundant atom.
 func Rule(r ast.Rule, opts Options) (ast.Rule, Trace, error) {
 	p := ast.NewProgram(r.Clone())
-	q, trace, err := minimizeAtoms(p, opts)
+	q, ck, trace, err := minimizeAtoms(p, opts)
 	if err != nil {
 		return ast.Rule{}, trace, err
 	}
+	trace.Stats = ck.Stats()
 	return q.Rules[0], trace, nil
 }
 
@@ -78,31 +84,37 @@ func Program(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
 	if opts.Rand != nil {
 		shuffleProgram(q, opts.Rand)
 	}
-	q, trace, err := minimizeAtoms(q, opts)
+	q, ck, trace, err := minimizeAtoms(q, opts)
 	if err != nil {
 		return nil, trace, err
 	}
-	q, trace2, err := removeRedundantRules(q)
+	// The atom phase's session carries into the rule phase: its memoized
+	// verdicts and frozen bodies survive each rule deletion via Derive.
+	q, ck, trace2, err := removeRedundantRulesSession(q, ck)
 	if err != nil {
 		return nil, trace, err
 	}
 	trace.RuleRemovals = trace2.RuleRemovals
+	trace.Stats = ck.Stats()
 	return q, trace, nil
 }
 
 // minimizeAtoms runs the first phase of Fig. 2 on every rule of p (which,
 // for a single-rule program, is exactly Fig. 1). Each atom is considered
 // once; the test for deleting atom α from rule r is r̂ ⊑ᵘ P with P the
-// current program. One containment session serves all candidate atoms of
-// the current program; it is rebuilt only when a deletion changes the
-// program, so the schedule/compile work is per accepted deletion instead of
-// per considered atom.
-func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
+// current program. One containment session serves the whole phase: an
+// accepted deletion replaces a rule by a body-subset of itself, so the
+// session for the shortened program is derived from the current one —
+// the prepared schedule is patched rather than rebuilt, frozen bodies
+// carry over wholesale, and every memoized verdict the weakening cannot
+// flip survives. The session is returned so the rule phase can keep
+// deriving from it.
+func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, *chase.Checker, Trace, error) {
 	var trace Trace
-	q := p.Clone()
+	q := p // both callers pass a program they own; it is mutated in place
 	ck, err := chase.NewChecker(q)
 	if err != nil {
-		return nil, trace, err
+		return nil, nil, trace, err
 	}
 	for i := range q.Rules {
 		if opts.Rand != nil {
@@ -115,8 +127,8 @@ func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
 		k := 0
 		for k < len(q.Rules[i].Body) {
 			r := q.Rules[i]
-			cand := r.WithoutBodyAtom(k)
-			if err := cand.Validate(); err != nil {
+			cand := withoutBodyAtom(r, k)
+			if !cand.WellFormed() {
 				// Deleting the atom breaks range restriction, so the
 				// shortened rule is not even well-formed; keep the atom.
 				k++
@@ -128,57 +140,76 @@ func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
 			}
 			ok, err := ck.ContainsRule(cand)
 			if err != nil {
-				return nil, trace, err
+				return nil, nil, trace, err
 			}
 			if ok {
 				trace.AtomRemovals = append(trace.AtomRemovals, AtomRemoval{Rule: r.Clone(), Atom: r.Body[k].Clone()})
 				q.Rules[i] = cand
-				ck, err = chase.NewChecker(q)
+				ck, err = ck.Derive(chase.Delta{RuleIndex: i, NewRule: &cand})
 				if err != nil {
-					return nil, trace, err
+					return nil, nil, trace, err
 				}
 			} else {
 				k++
 			}
 		}
 	}
-	return q, trace, nil
+	return q, ck, trace, nil
 }
 
-// removeRedundantRules runs the second phase of Fig. 2: each rule is
+// removeRedundantRulesSession runs the second phase of Fig. 2: each rule is
 // considered once and deleted when it is uniformly contained in the rest of
-// the program.
-func removeRedundantRules(p *ast.Program) (*ast.Program, Trace, error) {
+// the program. ck must be a session over p. Every candidate "rest" program
+// is a single-rule deletion from the current program, so its session is
+// derived; when the deletion is accepted the derived session becomes the
+// current one, carrying the surviving verdicts forward.
+func removeRedundantRulesSession(p *ast.Program, ck *chase.Checker) (*ast.Program, *chase.Checker, Trace, error) {
 	var trace Trace
 	q := p.Clone()
 	i := 0
 	for i < len(q.Rules) {
 		r := q.Rules[i]
-		rest := q.WithoutRule(i)
-		ok, err := chase.UniformlyContainsRule(rest, r)
+		restCk, err := ck.Derive(chase.Delta{RuleIndex: i})
 		if err != nil {
-			return nil, trace, err
+			return nil, nil, trace, err
+		}
+		ok, err := restCk.ContainsRule(r)
+		if err != nil {
+			return nil, nil, trace, err
 		}
 		if ok {
 			trace.RuleRemovals = append(trace.RuleRemovals, r.Clone())
-			q = rest
+			// q is our clone, so the deletion can splice in place instead of
+			// re-cloning the whole program per accepted rule.
+			q.Rules = append(q.Rules[:i], q.Rules[i+1:]...)
+			ck = restCk
 		} else {
 			i++
 		}
 	}
-	return q, trace, nil
+	return q, ck, trace, nil
 }
 
 // RemoveRedundantRules removes only redundant rules (no atom minimization);
 // exposed for the ablation that demonstrates why Fig. 2 must delete atoms
 // first (Theorem 2's proof depends on it).
 func RemoveRedundantRules(p *ast.Program) (*ast.Program, Trace, error) {
-	return removeRedundantRules(p)
+	ck, err := chase.NewChecker(p)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+	q, ck, trace, err := removeRedundantRulesSession(p, ck)
+	if err != nil {
+		return nil, trace, err
+	}
+	trace.Stats = ck.Stats()
+	return q, trace, nil
 }
 
 // IsMinimal reports whether p has no atom and no rule deletable under
 // uniform equivalence — the property Theorem 2 guarantees for the output of
-// Program. All atom tests share one containment session over p.
+// Program. All atom tests share one containment session over p, and each
+// rule test derives the rule-deleted session from it.
 func IsMinimal(p *ast.Program) (bool, error) {
 	ck, err := chase.NewChecker(p)
 	if err != nil {
@@ -186,8 +217,8 @@ func IsMinimal(p *ast.Program) (bool, error) {
 	}
 	for i, r := range p.Rules {
 		for k := range r.Body {
-			cand := r.WithoutBodyAtom(k)
-			if cand.Validate() != nil {
+			cand := withoutBodyAtom(r, k)
+			if !cand.WellFormed() {
 				continue
 			}
 			ok, err := ck.ContainsRule(cand)
@@ -198,8 +229,11 @@ func IsMinimal(p *ast.Program) (bool, error) {
 				return false, nil
 			}
 		}
-		rest := p.WithoutRule(i)
-		ok, err := chase.UniformlyContainsRule(rest, r)
+		restCk, err := ck.Derive(chase.Delta{RuleIndex: i})
+		if err != nil {
+			return false, err
+		}
+		ok, err := restCk.ContainsRule(r)
 		if err != nil {
 			return false, err
 		}
@@ -208,6 +242,17 @@ func IsMinimal(p *ast.Program) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// withoutBodyAtom is ast.Rule.WithoutBodyAtom without the deep clone: the
+// candidate shares the rule's atoms (only the body slice is fresh), which is
+// safe because the minimization loops treat rules as immutable — candidates
+// are only validated, tested for containment, and installed wholesale.
+func withoutBodyAtom(r ast.Rule, k int) ast.Rule {
+	body := make([]ast.Atom, 0, len(r.Body)-1)
+	body = append(body, r.Body[:k]...)
+	body = append(body, r.Body[k+1:]...)
+	return ast.Rule{Head: r.Head, Body: body, NegBody: r.NegBody}
 }
 
 func shuffleProgram(p *ast.Program, rng *rand.Rand) {

@@ -59,7 +59,7 @@ func NewSession(p *ast.Program) (*Session, error) {
 	if p.HasNegation() {
 		return nil, fmt.Errorf("preserve: pure Datalog required")
 	}
-	prep, err := eval.Prepare(p, eval.Options{})
+	prep, err := eval.PrepareCached(p, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +178,7 @@ func (s *Session) prelimEntry(depth int) (*depthEntry, error) {
 		init = res.Program
 		complete = res.Complete
 	}
-	prep, err := eval.Prepare(init, eval.Options{})
+	prep, err := eval.PrepareCached(init, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +202,7 @@ func (s *Session) partialEntry(depth int) (*depthEntry, error) {
 		return nil, err
 	}
 	q := res.Program
-	prep, err := eval.Prepare(q, eval.Options{})
+	prep, err := eval.PrepareCached(q, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
