@@ -21,6 +21,7 @@ import (
 	"repro/internal/magic"
 	"repro/internal/minimize"
 	"repro/internal/parser"
+	"repro/internal/preserve"
 	"repro/internal/topdown"
 	"repro/internal/workload"
 )
@@ -589,6 +590,70 @@ func BenchmarkStratifiedMagic(b *testing.B) {
 			if _, _, err := magic.DirectAnswer(p, edb, q, eval.Options{}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkAblation_PreserveDerive measures the tentpole of the preservation
+// layer: carrying a warmed session (per-depth unfoldings, combination
+// options, prepared plans) across an accepted one-rule weakening via
+// Session.Derive, against rebuilding the session from scratch, with the same
+// depth-3 probes answered afterwards in both arms. Prepared plans are served
+// from a shared cache in both arms; the gap is the re-unfolding and option
+// rebuilding that Derive patches instead.
+func BenchmarkAblation_PreserveDerive(b *testing.B) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z), B(z, z).
+		G(x, z) :- G(x, y), G(y, z).
+		H(x, z) :- G(x, z), B(x, z).
+		H(x, z) :- H(x, y), A(y, z).
+	`)
+	const ruleIdx = 2
+	nr := p.Rules[ruleIdx].WithoutBodyAtom(1) // H(x, z) :- G(x, z).
+	// The probe tgd is extensional-only, so its combination walk is trivial:
+	// each arm's cost is dominated by building the depth-3 session state the
+	// probe forces (unfoldings, prepared plans, option tables), which is
+	// exactly what Derive patches and a fresh session recomputes.
+	tgds := []ast.TGD{parser.MustParseTGD("A(x, y) -> B(x, w).")}
+	probe := func(b *testing.B, s *preserve.Session) {
+		opts := preserve.Options{Depth: 3, Budget: chase.Budget{MaxAtoms: 200, MaxRounds: 6}}
+		if _, _, err := s.Check(tgds, opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.CheckPreliminary(tgds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("derive", func(b *testing.B) {
+		base, err := preserve.NewSessionCache(p, eval.NewPlanCache(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe(b, base) // warm the depth entries Derive patches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ns, err := base.Derive(ruleIdx, &nr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probe(b, ns)
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		cache := eval.NewPlanCache(0)
+		base, err := preserve.NewSessionCache(p, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe(b, base)
+		np := p.ReplaceRule(ruleIdx, nr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ns, err := preserve.NewSessionCache(np, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probe(b, ns)
 		}
 	})
 }

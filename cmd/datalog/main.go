@@ -255,7 +255,7 @@ func run(args []string, out io.Writer) error {
 		if len(res.TGDs) == 0 {
 			return fmt.Errorf("preserve: the file declares no tgds")
 		}
-		v, cex, err := core.PreservesNonRecursively(res.Program, res.TGDs, chase.Budget{})
+		v, cex, err := core.PreserveCheck(res.Program, res.TGDs, core.PreserveOptions{})
 		if err != nil {
 			return err
 		}
@@ -263,7 +263,7 @@ func run(args []string, out io.Writer) error {
 		if cex != nil {
 			fmt.Fprintf(out, "counterexample: %v\n", cex)
 		}
-		v, cex, err = core.PreliminarySatisfies(res.Program, res.TGDs, chase.Budget{})
+		v, cex, err = core.PreserveCheckPreliminary(res.Program, res.TGDs, core.PreserveOptions{})
 		if err != nil {
 			return err
 		}

@@ -8,7 +8,6 @@ import (
 	"strings"
 
 	"repro/internal/ast"
-	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/dot"
@@ -198,12 +197,12 @@ commands:     :show                   print the session's program/facts/tgds
 		if len(s.tgds) == 0 {
 			return fmt.Errorf("no tgds in the session")
 		}
-		v, _, err := core.PreservesNonRecursively(s.program, s.tgds, chase.Budget{})
+		v, _, err := core.PreserveCheck(s.program, s.tgds, core.PreserveOptions{})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(s.out, "preserves T non-recursively: %v\n", v)
-		v, _, err = core.PreliminarySatisfies(s.program, s.tgds, chase.Budget{})
+		v, _, err = core.PreserveCheckPreliminary(s.program, s.tgds, core.PreserveOptions{})
 		if err != nil {
 			return err
 		}

@@ -40,11 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	v2, _, err := core.PreservesNonRecursively(p1, []core.TGD{tgd}, core.Budget{})
+	v2, _, err := core.PreserveCheck(p1, []core.TGD{tgd}, core.PreserveOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	v3, _, err := core.PreliminarySatisfies(p1, []core.TGD{tgd}, core.Budget{})
+	v3, _, err := core.PreserveCheckPreliminary(p1, []core.TGD{tgd}, core.PreserveOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

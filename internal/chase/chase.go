@@ -130,6 +130,9 @@ type Checker struct {
 	// derived programs), so work done while probing a candidate that is
 	// then discarded still shows up in the session totals.
 	stats *eval.Stats
+	// cache is the plan cache the lineage prepares through — the process-wide
+	// eval.DefaultPlanCache unless NewCheckerCache injected another.
+	cache *eval.PlanCache
 }
 
 // verdict is one memoized ContainsRule answer plus what Derive needs to
@@ -152,8 +155,19 @@ type frozenRule struct {
 // negation are rejected: the chase-based tests are defined for pure Datalog
 // (use StratifiedUniformlyContains for the encoded extension).
 func NewChecker(p *ast.Program) (*Checker, error) {
+	return NewCheckerCache(p, nil)
+}
+
+// NewCheckerCache is NewChecker with an injectable plan cache (nil selects
+// eval.DefaultPlanCache); the cache is inherited by every Checker the
+// session derives. Tests and the harness isolate their cache footprints;
+// servers can shard caches per tenant.
+func NewCheckerCache(p *ast.Program, cache *eval.PlanCache) (*Checker, error) {
 	if p.HasNegation() {
 		return nil, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
+	}
+	if cache == nil {
+		cache = eval.DefaultPlanCache
 	}
 	c := &Checker{
 		// Keep the caller's rules (cloned against mutation) rather than the
@@ -163,6 +177,7 @@ func NewChecker(p *ast.Program) (*Checker, error) {
 		prog:   p.Clone(),
 		frozen: make(map[string]frozenRule),
 		stats:  &eval.Stats{},
+		cache:  cache,
 	}
 	c.ruleCanon = make([]string, len(c.prog.Rules))
 	for i, r := range c.prog.Rules {
@@ -170,7 +185,7 @@ func NewChecker(p *ast.Program) (*Checker, error) {
 	}
 	c.progCanon = joinCanon(c.ruleCanon)
 	c.pv = defaultVerdicts.forProgram(c.progCanon)
-	prep, hit, err := eval.DefaultPlanCache.GetOrBuildCanonical(c.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
+	prep, hit, err := c.cache.GetOrBuildCanonical(c.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
 		return eval.Prepare(p, eval.Options{})
 	})
 	if err != nil {
@@ -348,9 +363,10 @@ func (c *Checker) Derive(delta Delta) (*Checker, error) {
 		// sound direction for transfer (see the field comment).
 		graph: c.graph,
 		reach: c.reach,
+		cache: c.cache, // the lineage prepares through one cache
 	}
 	nc.pv = defaultVerdicts.forProgram(nc.progCanon)
-	prep, hit, err := eval.DefaultPlanCache.GetOrBuildCanonical(nc.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
+	prep, hit, err := c.cache.GetOrBuildCanonical(nc.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
 		return c.prep.Derive(delta.RuleIndex, delta.NewRule)
 	})
 	if err != nil {

@@ -16,8 +16,8 @@
 //     uniform equivalence (Section VII).
 //   - ChaseApply / SATModelsContained — the combined [P,T] chase of
 //     Section VIII.
-//   - PreservesNonRecursively / PreliminarySatisfies — the Fig. 3
-//     procedure and condition (3′) of Sections IX–X.
+//   - PreserveCheck / PreserveCheckPreliminary — the Fig. 3 procedure and
+//     condition (3′) of Sections IX–X, at any unfolding depth.
 //   - EquivOptimize — the Section XI optimization under plain equivalence.
 //   - MagicRewrite / MagicAnswer — the magic-sets evaluation method the
 //     optimizations compose with.
@@ -100,7 +100,15 @@ type (
 	ContainmentChecker = chase.Checker
 	// PreserveSession is a preservation-checking session over a fixed
 	// program, caching the prepared program and per-depth unfoldings.
+	// Session.Derive patches all of that state across an accepted one-rule
+	// delta instead of rebuilding it.
 	PreserveSession = preserve.Session
+	// PreserveOptions configures one preservation check (depth and chase
+	// budget) — the consolidated form of the former
+	// PreservesNonRecursively/…AtDepth entry-point pairs.
+	PreserveOptions = preserve.Options
+	// PlanCache is a content-addressed cache of prepared evaluation plans.
+	PlanCache = eval.PlanCache
 )
 
 // Verdict values.
@@ -132,12 +140,43 @@ func Eval(p *Program, input *Database, opts EvalOptions) (*Database, EvalStats, 
 	return eval.Eval(p, input, opts)
 }
 
+// SessionOptions configures session construction across the facade:
+// PrepareEval, NewContainmentChecker and NewPreserveSession all take the
+// same (optional, variadic for compatibility) options.
+type SessionOptions struct {
+	// PlanCache selects the cache that prepared plans are served from and
+	// registered in; nil selects the process-wide cache. Tests and servers
+	// isolate or shard cache footprints by injecting their own — sessions
+	// built over the same cache share delta-patched plans by content
+	// address.
+	PlanCache *PlanCache
+}
+
+// sessionCache resolves the variadic options to a plan cache (nil = the
+// process-wide default, which each layer substitutes itself).
+func sessionCache(opts []SessionOptions) *PlanCache {
+	for _, o := range opts {
+		if o.PlanCache != nil {
+			return o.PlanCache
+		}
+	}
+	return nil
+}
+
+// NewPlanCache returns an isolated plan cache holding at most max plans
+// (max ≤ 0 selects the default capacity), for injection via SessionOptions.
+func NewPlanCache(max int) *PlanCache { return eval.NewPlanCache(max) }
+
 // PrepareEval validates p once and caches its evaluation plan (strata/SCC
 // schedule, compiled rules, index needs); the returned Prepared evaluates
 // any number of databases without re-planning and is safe for concurrent
-// use. Plans are served from the process-wide content-addressed cache, so
-// preparing a program canonically equal to one seen before is a lookup.
-func PrepareEval(p *Program, opts EvalOptions) (*Prepared, error) {
+// use. Plans are served from the process-wide content-addressed cache — or
+// the cache injected via SessionOptions — so preparing a program
+// canonically equal to one seen before is a lookup.
+func PrepareEval(p *Program, opts EvalOptions, sess ...SessionOptions) (*Prepared, error) {
+	if pc := sessionCache(sess); pc != nil {
+		return pc.Prepare(p, opts)
+	}
 	return eval.PrepareCached(p, opts)
 }
 
@@ -150,15 +189,17 @@ func PlanCacheStats() eval.CacheStats {
 // NewContainmentChecker opens a uniform-containment session whose
 // containing program is p1: Checker.ContainsRule and Checker.Contains
 // decide r ⊑ᵘ P₁ and P₂ ⊑ᵘ P₁ reusing one prepared program, memoized
-// frozen bodies and memoized verdicts across calls.
-func NewContainmentChecker(p1 *Program) (*ContainmentChecker, error) {
-	return chase.NewChecker(p1)
+// frozen bodies and memoized verdicts across calls. Checker.Derive patches
+// the session across a one-rule delta.
+func NewContainmentChecker(p1 *Program, sess ...SessionOptions) (*ContainmentChecker, error) {
+	return chase.NewCheckerCache(p1, sessionCache(sess))
 }
 
 // NewPreserveSession opens a preservation-checking session over p for
-// repeated Fig. 3 / condition (3′) tests against different tgd sets.
-func NewPreserveSession(p *Program) (*PreserveSession, error) {
-	return preserve.NewSession(p)
+// repeated Check / CheckPreliminary tests against different tgd sets;
+// Session.Derive patches the session across an accepted one-rule delta.
+func NewPreserveSession(p *Program, sess ...SessionOptions) (*PreserveSession, error) {
+	return preserve.NewSessionCache(p, sessionCache(sess))
 }
 
 // NonRecursive computes Pⁿ(d), the one-step application of Section IX.
@@ -202,14 +243,31 @@ func SATModelsContained(p1 *Program, tgds []TGD, p2 *Program, budget Budget) (Ve
 	return chase.SATModelsContained(p1, tgds, p2, budget)
 }
 
+// PreserveCheck runs the Fig. 3 preservation procedure of Section IX,
+// generalized by opts.Depth to k-round blocks (Section X's closing remark).
+func PreserveCheck(p *Program, tgds []TGD, opts PreserveOptions) (Verdict, *PreserveCounterexample, error) {
+	return preserve.Check(p, tgds, opts)
+}
+
+// PreserveCheckPreliminary decides condition (3′) of Section X against the
+// depth-opts.Depth preliminary DB.
+func PreserveCheckPreliminary(p *Program, tgds []TGD, opts PreserveOptions) (Verdict, *PreserveCounterexample, error) {
+	return preserve.CheckPreliminary(p, tgds, opts)
+}
+
 // PreservesNonRecursively runs the Fig. 3 procedure (Section IX).
+//
+// Deprecated: use PreserveCheck with PreserveOptions{Budget: budget}.
 func PreservesNonRecursively(p *Program, tgds []TGD, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return preserve.NonRecursively(p, tgds, budget)
+	return PreserveCheck(p, tgds, PreserveOptions{Budget: budget})
 }
 
 // PreliminarySatisfies decides condition (3′) of Section X.
+//
+// Deprecated: use PreserveCheckPreliminary with PreserveOptions{Budget:
+// budget}.
 func PreliminarySatisfies(p *Program, tgds []TGD, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return preserve.PreliminarySatisfies(p, tgds, budget)
+	return PreserveCheckPreliminary(p, tgds, PreserveOptions{Budget: budget})
 }
 
 // EquivOptimize runs the Section XI optimization under plain equivalence.
@@ -250,13 +308,19 @@ func UniformlyContainsRuleCertified(p *Program, r Rule) (bool, *chase.Certificat
 // PreliminarySatisfiesAtDepth is the generalized condition (3′) of
 // Section X's closing remark, with the preliminary DB taken at unfolding
 // depth k.
+//
+// Deprecated: use PreserveCheckPreliminary with PreserveOptions{Depth:
+// depth, Budget: budget}.
 func PreliminarySatisfiesAtDepth(p *Program, tgds []TGD, depth int, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return preserve.PreliminarySatisfiesAtDepth(p, tgds, depth, budget)
+	return PreserveCheckPreliminary(p, tgds, PreserveOptions{Depth: depth, Budget: budget})
 }
 
 // PreservesNonRecursivelyAtDepth is the k-round generalization of Fig. 3.
+//
+// Deprecated: use PreserveCheck with PreserveOptions{Depth: depth, Budget:
+// budget}.
 func PreservesNonRecursivelyAtDepth(p *Program, tgds []TGD, depth int, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return preserve.NonRecursivelyAtDepth(p, tgds, depth, budget)
+	return PreserveCheck(p, tgds, PreserveOptions{Depth: depth, Budget: budget})
 }
 
 // UnfoldToDepth expresses k rounds of p as a non-recursive EDB-bodied

@@ -112,11 +112,11 @@ func TestFacadeChaseAndPreservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, cex, err := PreservesNonRecursively(p, []TGD{tgd}, Budget{})
+	v, cex, err := PreserveCheck(p, []TGD{tgd}, PreserveOptions{})
 	if err != nil || v != Yes {
 		t.Fatalf("preservation: %v %v %v", v, cex, err)
 	}
-	v, cex, err = PreliminarySatisfies(p, []TGD{tgd}, Budget{})
+	v, cex, err = PreserveCheckPreliminary(p, []TGD{tgd}, PreserveOptions{})
 	if err != nil || v != Yes {
 		t.Fatalf("preliminary: %v %v %v", v, cex, err)
 	}
@@ -255,11 +255,11 @@ func TestFacadeStratifiedAndDepth(t *testing.T) {
 		H(x) :- G(x, y).
 	`)
 	tgd, _ := ParseTGD("G(x, z) -> H(x).")
-	v, _, err := PreliminarySatisfiesAtDepth(p2, []TGD{tgd}, 2, Budget{})
+	v, _, err := PreserveCheckPreliminary(p2, []TGD{tgd}, PreserveOptions{Depth: 2})
 	if err != nil || v != Yes {
 		t.Fatalf("depth-2 prelim: %v %v", v, err)
 	}
-	v, _, err = PreservesNonRecursivelyAtDepth(p2, []TGD{tgd}, 2, Budget{})
+	v, _, err = PreserveCheck(p2, []TGD{tgd}, PreserveOptions{Depth: 2})
 	if err != nil || v != Yes {
 		t.Fatalf("depth-2 preserve: %v %v", v, err)
 	}

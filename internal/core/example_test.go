@@ -106,3 +106,31 @@ func ExampleMagicAnswer() {
 	// Output:
 	// 2 answers; 5 facts derived
 }
+
+// ExamplePreserveCheck runs the Fig. 3 preservation procedure and the
+// condition (3′) preliminary-DB test through the consolidated entry points,
+// then carries the session across the Example 18 weakening with Derive.
+func ExamplePreserveCheck() {
+	p, _ := core.ParseProgram(`
+		G(x, z) :- A(x, z).
+		G(x, z) :- G(x, y), G(y, z), A(y, w).
+	`)
+	tgd, _ := core.ParseTGD("G(y, z) -> A(y, w).")
+	v, _, _ := core.PreserveCheck(p, []core.TGD{tgd}, core.PreserveOptions{})
+	fmt.Println("preserves non-recursively:", v)
+
+	s, _ := core.NewPreserveSession(p)
+	v, _, _ = s.CheckPreliminary([]core.TGD{tgd}, core.PreserveOptions{Depth: 2})
+	fmt.Println("preliminary DB satisfies at depth 2:", v)
+
+	// Accepting the deletion the tgd justifies yields a one-rule weakening;
+	// Derive patches the session instead of rebuilding it.
+	weak := p.Rules[1].WithoutBodyAtom(2)
+	ds, _ := s.Derive(1, &weak)
+	v, _, _ = ds.Check([]core.TGD{tgd}, core.PreserveOptions{})
+	fmt.Println("weakened program preserves:", v)
+	// Output:
+	// preserves non-recursively: yes
+	// preliminary DB satisfies at depth 2: yes
+	// weakened program preserves: yes
+}

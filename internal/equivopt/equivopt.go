@@ -284,7 +284,7 @@ func tryCandidate(ck *chase.Checker, ps *preserve.Session, p *ast.Program, ruleI
 	// probe increasing depths like condition (3′) below.
 	ok2 := false
 	for depth := 1; depth <= opts.PrelimDepth && !ok2; depth++ {
-		v, _, err = ps.NonRecursivelyAtDepth(T, depth, budget)
+		v, _, err = ps.Check(T, preserve.Options{Depth: depth, Budget: budget})
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +296,7 @@ func tryCandidate(ck *chase.Checker, ps *preserve.Session, p *ast.Program, ruleI
 	// (3′) the preliminary DB of P1 satisfies T; probe increasing
 	// unfolding depths (Section X's closing remark).
 	for depth := 1; depth <= opts.PrelimDepth; depth++ {
-		v, _, err = ps.PreliminarySatisfiesAtDepth(T, depth, budget)
+		v, _, err = ps.CheckPreliminary(T, preserve.Options{Depth: depth, Budget: budget})
 		if err != nil {
 			return nil, err
 		}
@@ -320,9 +320,10 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 	cur := p.Clone()
 	// One containment session and one preservation session serve every
 	// candidate probed against the current program. When a candidate is
-	// applied the containment session is delta-derived rather than rebuilt;
-	// the preservation session is reconstructed, but its prepared plans come
-	// from the shared content-addressed cache.
+	// applied both sessions are delta-derived rather than rebuilt: the
+	// containment session keeps surviving verdicts and frozen bodies, the
+	// preservation session patches its per-depth unfoldings and transfers
+	// combination-option tables across the one-rule weakening.
 	ck, err := chase.NewChecker(cur)
 	if err != nil {
 		return nil, nil, err
@@ -359,7 +360,7 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 					if ck, err = ck.Derive(chase.Delta{RuleIndex: i, NewRule: &nr}); err != nil {
 						return nil, removals, err
 					}
-					if ps, err = preserve.NewSession(cur); err != nil {
+					if ps, err = ps.Derive(i, &nr); err != nil {
 						return nil, removals, err
 					}
 					applied = true

@@ -25,7 +25,7 @@ import (
 type PlanCache struct {
 	mu      sync.Mutex
 	max     int
-	order   *list.List               // front = most recently used
+	order   *list.List // front = most recently used
 	buckets map[uint64][]*list.Element
 
 	hits, misses, evictions uint64

@@ -559,17 +559,24 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 		// without the merged total actually exceeding the budget, the
 		// truncated round is re-fired — already-merged facts then dedup at
 		// emit time, so every re-fire either completes the round or strictly
-		// grows the database until the budget genuinely runs out. A goal
-		// sighting is exact (the goal is ground, so any emission of it is
-		// the goal), so it is checked after the merge, before the budget. It
-		// deliberately does NOT abort in-flight variants: cutting peers off
-		// mid-enumeration would make the merged partial database depend on
-		// goroutine scheduling, whereas completing the round keeps
-		// goal-directed parallel evaluation deterministic (and identical to
-		// a sequential run's round boundary).
+		// grows the database until the budget genuinely runs out.
+		//
+		// Goal-directed runs use a variant-ordered merge with prefix cut.
+		// In-flight variants are deliberately NOT aborted (cutting peers off
+		// mid-enumeration would make the partial database depend on
+		// goroutine scheduling); instead the merge commits the buffers in
+		// variant order and stops at the first committed goal fact. Each
+		// variant's enumeration only probes frozen indexes — tuples inserted
+		// mid-round are stamped with the current round, which every window
+		// excludes — so a buffer replays exactly the emission sequence the
+		// sequential path would produce for that variant, and the committed
+		// prefix equals the sequential partial database byte for byte while
+		// reclaiming the mid-round abort. A variant's error is surfaced
+		// after its buffer commits (the sequential path adds facts up to the
+		// failure point too); errors of variants past the cut belong to work
+		// a sequential run never starts and are discarded.
 		var tentative atomic.Int64
 		var tripped atomic.Bool
-		var goalHit atomic.Bool
 		var stopFn func() bool
 		if opts.MaxDerived > 0 {
 			stopFn = func() bool { return tripped.Load() }
@@ -596,9 +603,6 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 						cp := make([]ast.Const, len(args))
 						copy(cp, args)
 						buffers[vi] = append(buffers[vi], pending{pred: pred, args: cp})
-						if goal != nil && pred == goal.Pred && constsEqual(args, goal.Args) {
-							goalHit.Store(true)
-						}
 						if opts.MaxDerived > 0 && tentative.Add(1) > int64(opts.MaxDerived) {
 							tripped.Store(true)
 						}
@@ -608,26 +612,34 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 				}(vi)
 			}
 			wg.Wait()
+			// The merge runs single-threaded after the round's workers join,
+			// so provenance updates need no synchronization.
 			for vi := range variants {
-				if errs[vi] != nil {
-					return errs[vi]
-				}
 				stats.Firings += statsArr[vi].Firings
 				merged := 0
+				cut := false
 				for _, pf := range buffers[vi] {
 					if d.AddTuple(pf.pred, pf.args) {
 						stats.Added++
 						merged++
+						if goal != nil && pf.pred == goal.Pred && constsEqual(pf.args, goal.Args) {
+							cut = true
+							break
+						}
 					}
 				}
-				// The merge runs single-threaded after the round's workers
-				// join, so provenance updates need no synchronization.
 				if prov != nil && merged > 0 {
 					prov.Add(ruleIdxs[variants[vi].idx])
 				}
-			}
-			if goalHit.Load() {
-				return errGoal
+				if cut {
+					// The goal is ground, so any committed emission of it is
+					// the goal; it precedes any error in this variant's
+					// enumeration, and later variants are past the cut.
+					return errGoal
+				}
+				if errs[vi] != nil {
+					return errs[vi]
+				}
 			}
 			if !tripped.Load() {
 				return nil

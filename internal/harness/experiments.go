@@ -124,17 +124,17 @@ func E1WorkedExamples() Table {
 			return pn.Equal(db.FromFacts([]ast.GroundAtom{ga("G", 1, 2), ga("G", 2, 4)}))
 		}},
 		{"Ex. 13/14", "IX", "P1 preserves G(x,z)→A(x,w) non-recursively (Fig. 3)", func() bool {
-			v, _, err := preserve.NonRecursively(tcGuarded, []ast.TGD{tgd}, chase.Budget{})
+			v, _, err := preserve.Check(tcGuarded, []ast.TGD{tgd}, preserve.Options{})
 			return err == nil && v == chase.Yes
 		}},
 		{"Ex. 15", "IX", "two-atom-LHS tgd preserved (all 4 combinations)", func() bool {
 			r := parser.MustParseProgram(`G(x, z) :- G(x, y), G(y, z), A(y, w).`)
-			v, _, err := preserve.NonRecursively(r, []ast.TGD{parser.MustParseTGD("G(x, y), G(y, z) -> A(y, w).")}, chase.Budget{})
+			v, _, err := preserve.Check(r, []ast.TGD{parser.MustParseTGD("G(x, y), G(y, z) -> A(y, w).")}, preserve.Options{})
 			return err == nil && v == chase.Yes
 		}},
 		{"Ex. 16", "IX", "Example 19's recursive rule preserves its tgd", func() bool {
 			r := parser.MustParseProgram(`G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).`)
-			v, _, err := preserve.NonRecursively(r, []ast.TGD{parser.MustParseTGD("G(y, z) -> G(y, w), C(w).")}, chase.Budget{})
+			v, _, err := preserve.Check(r, []ast.TGD{parser.MustParseTGD("G(y, z) -> G(y, w), C(w).")}, preserve.Options{})
 			return err == nil && v == chase.Yes
 		}},
 		{"Ex. 17", "X", "preliminary DB of TC over a 3-chain", func() bool {

@@ -10,7 +10,7 @@ import (
 
 func TestCounterexampleString(t *testing.T) {
 	p := parser.MustParseProgram(`G(x, z) :- G(x, y), G(y, z).`)
-	v, cex, err := NonRecursively(p, tgds("G(x, y) -> A(x, y)."), chase.Budget{})
+	v, cex, err := Check(p, tgds("G(x, y) -> A(x, y)."), Options{})
 	if err != nil || v != chase.No || cex == nil {
 		t.Fatalf("setup: %v %v %v", v, cex, err)
 	}
@@ -33,21 +33,21 @@ func TestDepthEntryPointsInPackage(t *testing.T) {
 		H(x) :- G(x, y).
 	`)
 	tau := parser.MustParseTGD("G(x, z) -> H(x).")
-	v, _, err := PreliminarySatisfiesAtDepth(p, tgds("G(x, z) -> H(x)."), 2, chase.Budget{})
+	v, _, err := CheckPreliminary(p, tgds("G(x, z) -> H(x)."), Options{Depth: 2})
 	if err != nil || v != chase.Yes {
 		t.Fatalf("PreliminarySatisfiesAtDepth: %v %v", v, err)
 	}
-	v, _, err = NonRecursivelyAtDepth(p, tgds("G(x, z) -> H(x)."), 2, chase.Budget{})
+	v, _, err = Check(p, tgds("G(x, z) -> H(x)."), Options{Depth: 2})
 	if err != nil || v != chase.Yes {
-		t.Fatalf("NonRecursivelyAtDepth: %v %v", v, err)
+		t.Fatalf("Check at depth: %v %v", v, err)
 	}
 	_ = tau
 	// Negation rejection on the depth paths.
 	neg := parser.MustParseProgram(`P(x) :- A(x), !B(x).`)
-	if _, _, err := PreliminarySatisfiesAtDepth(neg, tgds("P(x) -> A(x)."), 2, chase.Budget{}); err == nil {
+	if _, _, err := CheckPreliminary(neg, tgds("P(x) -> A(x)."), Options{Depth: 2}); err == nil {
 		t.Fatal("negation accepted at depth")
 	}
-	if _, _, err := NonRecursivelyAtDepth(neg, tgds("P(x) -> A(x)."), 2, chase.Budget{}); err == nil {
+	if _, _, err := Check(neg, tgds("P(x) -> A(x)."), Options{Depth: 2}); err == nil {
 		t.Fatal("negation accepted at depth")
 	}
 }

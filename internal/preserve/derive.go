@@ -1,0 +1,146 @@
+package preserve
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+)
+
+// Derive returns a session for the program obtained from s by a single-rule
+// delta — deleting rule ruleIdx (newRule nil) or replacing it — without
+// rebuilding the session from scratch. The Section XI optimizer accepts a
+// chain of one-rule weakenings; each acceptance invalidates only the
+// derivation trees passing through the changed rule, so the expensive
+// per-depth state transfers:
+//
+//   - the one-step evaluator is delta-patched via eval.Prepared.Derive and
+//     registered in the session's plan cache under the new program's content
+//     address (a concurrent session deriving the same program hits it);
+//   - combination-option tables are shared for every predicate other than
+//     the changed rule's head;
+//   - depth-k entries are re-derived by patching their unfolding hypergraphs
+//     (unfold.Result.Patch) instead of re-unfolding; entries whose patch is
+//     refused are dropped and rebuilt lazily on next use.
+//
+// Deltas that change the head predicate, delete a rule, or introduce
+// negation can shrink or reshape the intentional-predicate set, so they fall
+// back to a fresh session (still through the shared plan cache). The
+// receiver is not mutated and both sessions stay usable.
+func (s *Session) Derive(ruleIdx int, newRule *ast.Rule) (*Session, error) {
+	if ruleIdx < 0 || ruleIdx >= len(s.p.Rules) {
+		return nil, fmt.Errorf("preserve: Derive: rule index %d out of range (%d rules)", ruleIdx, len(s.p.Rules))
+	}
+	old := s.p.Rules[ruleIdx]
+	if newRule == nil {
+		return NewSessionCache(s.p.WithoutRule(ruleIdx), s.cache)
+	}
+	if err := newRule.Validate(); err != nil {
+		return nil, err
+	}
+	if newRule.Head.Pred != old.Head.Pred || newRule.HasNegation() {
+		return NewSessionCache(s.p.ReplaceRule(ruleIdx, *newRule), s.cache)
+	}
+
+	np := s.p.ReplaceRule(ruleIdx, *newRule)
+	prep, _, err := s.cache.GetOrBuild(np, eval.Options{}, func() (*eval.Prepared, error) {
+		return s.prep.Derive(ruleIdx, newRule)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns := &Session{
+		p:       prep.Program(),
+		prep:    prep,
+		idb:     s.idb, // same head predicate: the intentional set is unchanged
+		cache:   s.cache,
+		prelim:  make(map[int]*depthEntry),
+		partial: make(map[int]*depthEntry),
+	}
+	if s.opts != nil {
+		ns.opts = transferOptions(s.opts, ns.p, ns.idb, old.Head.Pred)
+	}
+
+	// The depth-1 preliminary entry runs the initialization program (rules
+	// with extensional bodies only); when neither the old nor the new rule
+	// is an initialization rule, that program is untouched by the delta and
+	// the entry transfers verbatim.
+	if e, ok := s.prelim[1]; ok && s.hasIntentionalBody(old) && s.hasIntentionalBody(*newRule) {
+		ns.prelim[1] = e
+	}
+	for depth, e := range s.prelim {
+		if depth <= 1 {
+			continue
+		}
+		if ne, ok := s.patchEntry(e, ruleIdx, *newRule, false); ok {
+			ns.prelim[depth] = ne
+		}
+	}
+	for depth, e := range s.partial {
+		if ne, ok := s.patchEntry(e, ruleIdx, *newRule, true); ok {
+			ns.partial[depth] = ne
+		}
+	}
+	return ns, nil
+}
+
+// patchEntry carries one depth-k entry across the delta by patching its
+// retained unfolding hypergraph. ok=false drops the entry, deferring to a
+// lazy from-scratch rebuild on next use — correctness never depends on a
+// patch succeeding.
+func (s *Session) patchEntry(e *depthEntry, ruleIdx int, newRule ast.Rule, partial bool) (*depthEntry, bool) {
+	if !e.res.Patchable() {
+		return nil, false
+	}
+	pres, err := e.res.Patch(ruleIdx, newRule)
+	if err != nil {
+		return nil, false
+	}
+	prep, err := s.cache.Prepare(pres.Program, eval.Options{})
+	if err != nil {
+		return nil, false
+	}
+	ne := &depthEntry{prep: prep, complete: pres.Complete, res: pres}
+	if partial {
+		ne.idb = pres.Program.IDBPredicates()
+		ne.opts = combinationOptions(pres.Program, ne.idb)
+	} else {
+		ne.idb = s.idb
+		ne.opts = prelimOptions(pres.Program)
+	}
+	return ne, true
+}
+
+// transferOptions rebuilds the Fig. 3 combination options after a same-head
+// one-rule delta: only the changed head predicate's producing-rule list can
+// differ, so every other predicate's option slice is shared with the old
+// session (options are immutable once built).
+func transferOptions(old map[string][]option, np *ast.Program, idb map[string]bool, head string) map[string][]option {
+	opts := make(map[string][]option, len(old))
+	for pred, os := range old {
+		if pred != head {
+			opts[pred] = os
+		}
+	}
+	for _, r := range np.Rules {
+		if r.Head.Pred == head {
+			opts[head] = append(opts[head], option{rule: r})
+		}
+	}
+	if idb[head] {
+		opts[head] = append(opts[head], option{trivial: true})
+	}
+	return opts
+}
+
+// hasIntentionalBody reports whether some positive body atom of r is
+// intentional in the session program — i.e. whether r is excluded from the
+// initialization program Pⁱ.
+func (s *Session) hasIntentionalBody(r ast.Rule) bool {
+	for _, a := range r.Body {
+		if s.idb[a.Pred] {
+			return true
+		}
+	}
+	return false
+}

@@ -30,36 +30,53 @@ func (c *Counterexample) String() string {
 // preservation checks. The prepared one-step evaluator Pⁿ, the per-depth
 // unfoldings, and the per-depth combination options are all computed once
 // and reused across tgds and candidate probes — the Section XI optimizer
-// asks the same program about many candidate tgds at many depths.
+// asks the same program about many candidate tgds at many depths. When the
+// optimizer accepts a candidate (a one-rule weakening), Derive patches the
+// session across the delta instead of rebuilding it.
 //
 // A Session is not safe for concurrent use.
 type Session struct {
-	p    *ast.Program
-	prep *eval.Prepared
-	idb  map[string]bool
-	opts map[string][]option // combinationOptions(p, idb), lazily built
+	p     *ast.Program
+	prep  *eval.Prepared
+	idb   map[string]bool
+	cache *eval.PlanCache
+	opts  map[string][]option // combinationOptions(p, idb), lazily built
 
-	prelim  map[int]*depthEntry // PreliminarySatisfiesAtDepth, by depth
-	partial map[int]*depthEntry // NonRecursivelyAtDepth, by depth
+	prelim  map[int]*depthEntry // CheckPreliminary entries, by depth
+	partial map[int]*depthEntry // Check (depth ≥ 2) entries, by depth
 }
 
 // depthEntry is one prepared depth-k variant: the (unfolded or
 // initialization) program, its prepared evaluator, the idb/option tables
-// the combination walk needs, and whether the unfolding was complete.
+// the combination walk needs, and whether the unfolding was complete. For
+// depth ≥ 2 entries res retains the unfolding's derivation hypergraph, so
+// Derive can patch the entry across a one-rule delta.
 type depthEntry struct {
 	prep     *eval.Prepared
 	idb      map[string]bool
 	opts     map[string][]option
 	complete bool
+	res      unfold.Result
 }
 
-// NewSession prepares p for preservation checks. Programs using negation
-// are rejected (the Fig. 3 procedure is defined for pure Datalog).
+// NewSession prepares p for preservation checks through the process-wide
+// plan cache. Programs using negation are rejected (the Fig. 3 procedure is
+// defined for pure Datalog).
 func NewSession(p *ast.Program) (*Session, error) {
+	return NewSessionCache(p, nil)
+}
+
+// NewSessionCache is NewSession with an injectable plan cache (nil selects
+// eval.DefaultPlanCache) — tests and the harness isolate their cache
+// footprints; servers can shard caches per tenant.
+func NewSessionCache(p *ast.Program, cache *eval.PlanCache) (*Session, error) {
 	if p.HasNegation() {
 		return nil, fmt.Errorf("preserve: pure Datalog required")
 	}
-	prep, err := eval.PrepareCached(p, eval.Options{})
+	if cache == nil {
+		cache = eval.DefaultPlanCache
+	}
+	prep, err := cache.Prepare(p, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -67,10 +84,14 @@ func NewSession(p *ast.Program) (*Session, error) {
 		p:       prep.Program(),
 		prep:    prep,
 		idb:     p.IDBPredicates(),
+		cache:   cache,
 		prelim:  make(map[int]*depthEntry),
 		partial: make(map[int]*depthEntry),
 	}, nil
 }
+
+// Program returns the session's program.
+func (s *Session) Program() *ast.Program { return s.p }
 
 // combOpts lazily builds the Fig. 3 combination options for the session
 // program: per intentional predicate, the producing rules plus the trivial
@@ -82,38 +103,70 @@ func (s *Session) combOpts() map[string][]option {
 	return s.opts
 }
 
-// NonRecursively runs the Fig. 3 procedure: it decides whether p preserves
-// T non-recursively, i.e. whether ⟨d, Pⁿ(d)⟩ satisfies T for every DB d
-// satisfying T. Yes answers are exact. No answers come with a finite
-// counterexample and are exact. When T contains embedded tgds the internal
-// chase of d may diverge; the budget then yields Unknown — mirroring the
-// paper's remark that the procedure "may loop forever if T has embedded
-// tgds and the answer is negative".
+// Options configures one preservation check — the consolidated form of the
+// former NonRecursively/…AtDepth entry-point pairs.
+type Options struct {
+	// Depth selects the k-round generalization of Section X's closing
+	// remark: the check runs against the depth-k unfolding of the program
+	// (k-round blocks for Check, the depth-k preliminary DB for
+	// CheckPreliminary). Depth ≤ 1 is the plain Fig. 3 / initialization-
+	// rules procedure.
+	Depth int
+	// Budget bounds each internal chase; zero fields take
+	// chase.DefaultBudget.
+	Budget chase.Budget
+}
+
+// Check runs the Fig. 3 procedure: it decides whether p preserves T
+// non-recursively, i.e. whether ⟨d, Pⁿ(d)⟩ satisfies T for every DB d
+// satisfying T — at opts.Depth > 1, whether every k-round block does, via
+// the partial unfolding Q with Qⁿ(d) = k rounds of P. Yes answers are
+// exact. No answers come with a finite counterexample and are exact at
+// depth ≤ 1; at greater depths a truncated unfolding demotes No to Unknown
+// (the violation may be an artifact of the missing derivations). When T
+// contains embedded tgds the internal chase of d may diverge; the budget
+// then yields Unknown — mirroring the paper's remark that the procedure
+// "may loop forever if T has embedded tgds and the answer is negative".
 //
 // Non-recursive preservation implies preservation (Section IX), which is
-// condition (2) of the Section X recipe for proving P₂ ⊑ P₁.
-func NonRecursively(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+// condition (2) of the Section X recipe for proving P₂ ⊑ P₁. A No verdict
+// at depth k may flip to Yes at a larger depth (witnesses gain rounds too),
+// so callers typically probe increasing depths.
+func Check(p *ast.Program, tgds []ast.TGD, opts Options) (chase.Verdict, *Counterexample, error) {
 	s, err := NewSession(p)
 	if err != nil {
 		return chase.Unknown, nil, err
 	}
-	return s.NonRecursively(tgds, budget)
+	return s.Check(tgds, opts)
 }
 
-// NonRecursively is the session form of the package-level NonRecursively.
-func (s *Session) NonRecursively(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+// Check is the session form of the package-level Check; the depth-k
+// unfolding is prepared once per session and reused across candidate tgds.
+func (s *Session) Check(tgds []ast.TGD, opts Options) (chase.Verdict, *Counterexample, error) {
+	// Options for each intentional LHS atom: every rule of p with the
+	// right head predicate, plus the trivial rule Q(x̄) :- Q(x̄)
+	// (Section IX augments the program with trivial rules so that the
+	// combinations also cover "this atom was already in d").
+	prep, idb, combo := s.prep, s.idb, s.combOpts()
+	complete := true
+	if opts.Depth > 1 {
+		e, err := s.partialEntry(opts.Depth)
+		if err != nil {
+			return chase.Unknown, nil, err
+		}
+		prep, idb, combo, complete = e.prep, e.idb, e.opts, e.complete
+	}
 	sawUnknown := false
 	for _, tau := range tgds {
-		// Options for each intentional LHS atom: every rule of p with the
-		// right head predicate, plus the trivial rule Q(x̄) :- Q(x̄)
-		// (Section IX augments the program with trivial rules so that the
-		// combinations also cover "this atom was already in d").
-		v, cex, err := checkTGD(s.prep, s.idb, tgds, tau, budget, s.combOpts())
+		v, cex, err := checkTGD(prep, idb, tgds, tau, opts.Budget, combo)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
 		switch v {
 		case chase.No:
+			if !complete {
+				return chase.Unknown, cex, nil
+			}
 			return chase.No, cex, nil
 		case chase.Unknown:
 			sawUnknown = true
@@ -125,25 +178,32 @@ func (s *Session) NonRecursively(tgds []ast.TGD, budget chase.Budget) (chase.Ver
 	return chase.Yes, nil, nil
 }
 
-// PreliminarySatisfies decides condition (3′) of Section X: for every EDB
-// d, the preliminary DB ⟨d, Pⁱ(d)⟩ of p satisfies T. Per the paper's two
-// modifications of Fig. 3: the tgds are NOT applied to d (d is an arbitrary
-// EDB, not assumed to satisfy T), and no trivial rules are added (an EDB
-// has no ground atoms of intentional predicates), with the rule options
-// drawn from the initialization program Pⁱ only. The procedure always
-// terminates, so the verdict is never Unknown.
-func PreliminarySatisfies(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+// CheckPreliminary decides condition (3′) of Section X: for every EDB d,
+// the preliminary DB ⟨d, Pⁱ(d)⟩ of p satisfies T — at opts.Depth > 1 the
+// preliminary DB generated by the depth-k unfolding (Section X's closing
+// remark: any set of rules applied a fixed number of times will do). Per
+// the paper's two modifications of Fig. 3: the tgds are NOT applied to d
+// (d is an arbitrary EDB, not assumed to satisfy T), and no trivial rules
+// are added (an EDB has no ground atoms of intentional predicates), with
+// the rule options drawn from the non-recursive unfolded program only. The
+// procedure always terminates; a complete unfolding never yields Unknown.
+func CheckPreliminary(p *ast.Program, tgds []ast.TGD, opts Options) (chase.Verdict, *Counterexample, error) {
 	s, err := NewSession(p)
 	if err != nil {
 		return chase.Unknown, nil, err
 	}
-	return s.PreliminarySatisfies(tgds, budget)
+	return s.CheckPreliminary(tgds, opts)
 }
 
-// PreliminarySatisfies is the session form of the package-level
-// PreliminarySatisfies.
-func (s *Session) PreliminarySatisfies(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	e, err := s.prelimEntry(1)
+// CheckPreliminary is the session form of the package-level
+// CheckPreliminary; the depth-k unfolded preliminary program is prepared
+// once per session and reused across candidate tgds.
+func (s *Session) CheckPreliminary(tgds []ast.TGD, opts Options) (chase.Verdict, *Counterexample, error) {
+	depth := opts.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	e, err := s.prelimEntry(depth)
 	if err != nil {
 		return chase.Unknown, nil, err
 	}
@@ -153,10 +213,43 @@ func (s *Session) PreliminarySatisfies(tgds []ast.TGD, budget chase.Budget) (cha
 			return chase.Unknown, nil, err
 		}
 		if v == chase.No {
+			if !e.complete {
+				// The unfolding was truncated; the violation may be an
+				// artifact of the missing derivations.
+				return chase.Unknown, cex, nil
+			}
 			return chase.No, cex, nil
 		}
 	}
 	return chase.Yes, nil, nil
+}
+
+// NonRecursively decides depth-1 preservation.
+//
+// Deprecated: use Check with Options{Budget: budget}.
+func NonRecursively(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	return Check(p, tgds, Options{Budget: budget})
+}
+
+// NonRecursively decides depth-1 preservation.
+//
+// Deprecated: use Session.Check with Options{Budget: budget}.
+func (s *Session) NonRecursively(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	return s.Check(tgds, Options{Budget: budget})
+}
+
+// PreliminarySatisfies decides depth-1 condition (3′).
+//
+// Deprecated: use CheckPreliminary with Options{Budget: budget}.
+func PreliminarySatisfies(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	return CheckPreliminary(p, tgds, Options{Budget: budget})
+}
+
+// PreliminarySatisfies decides depth-1 condition (3′).
+//
+// Deprecated: use Session.CheckPreliminary with Options{Budget: budget}.
+func (s *Session) PreliminarySatisfies(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	return s.CheckPreliminary(tgds, Options{Budget: budget})
 }
 
 // prelimEntry returns (building on first use) the prepared depth-k
@@ -168,27 +261,36 @@ func (s *Session) prelimEntry(depth int) (*depthEntry, error) {
 	}
 	var init *ast.Program
 	complete := true
+	var res unfold.Result
 	if depth <= 1 {
 		init = s.p.InitRules()
 	} else {
-		res, err := unfold.ToDepth(s.p, depth, 0)
+		var err error
+		res, err = unfold.ToDepth(s.p, depth, 0)
 		if err != nil {
 			return nil, err
 		}
 		init = res.Program
 		complete = res.Complete
 	}
-	prep, err := eval.PrepareCached(init, eval.Options{})
+	prep, err := s.cache.Prepare(init, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
+	e := &depthEntry{prep: prep, idb: s.idb, opts: prelimOptions(init), complete: complete, res: res}
+	s.prelim[depth] = e
+	return e, nil
+}
+
+// prelimOptions builds the combination options of a preliminary program:
+// producing rules only, no trivial options (an EDB has no ground atoms of
+// intentional predicates).
+func prelimOptions(init *ast.Program) map[string][]option {
 	opts := make(map[string][]option)
 	for _, r := range init.Rules {
 		opts[r.Head.Pred] = append(opts[r.Head.Pred], option{rule: r})
 	}
-	e := &depthEntry{prep: prep, idb: s.idb, opts: opts, complete: complete}
-	s.prelim[depth] = e
-	return e, nil
+	return opts
 }
 
 // partialEntry returns (building on first use) the prepared depth-k
@@ -202,12 +304,12 @@ func (s *Session) partialEntry(depth int) (*depthEntry, error) {
 		return nil, err
 	}
 	q := res.Program
-	prep, err := eval.PrepareCached(q, eval.Options{})
+	prep, err := s.cache.Prepare(q, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
 	idb := q.IDBPredicates()
-	e := &depthEntry{prep: prep, idb: idb, opts: combinationOptions(q, idb), complete: res.Complete}
+	e := &depthEntry{prep: prep, idb: idb, opts: combinationOptions(q, idb), complete: res.Complete, res: res}
 	s.partial[depth] = e
 	return e, nil
 }
@@ -472,103 +574,31 @@ func normalize(b chase.Budget) chase.Budget {
 	return b
 }
 
-// PreliminarySatisfiesAtDepth generalizes PreliminarySatisfies following
-// the closing remark of Section X: the preliminary DB need not be the one
-// generated by the initialization rules — any set of rules applied a fixed
-// number of times will do, expressed as a non-recursive program. This
-// variant unfolds p to derivation depth k (internal/unfold) and tests that
-// the resulting preliminary DB ⟨d, Uₖⁿ(d)⟩ satisfies T for every EDB d.
+// PreliminarySatisfiesAtDepth decides depth-k condition (3′).
 //
-// A Yes answer is sound for the Section X pipeline at any depth. A No
-// answer means this particular depth's preliminary DB can violate T; a
-// deeper (or different) intermediate DB might still work, so callers
-// typically probe increasing depths. Depth 1 coincides with
-// PreliminarySatisfies.
+// Deprecated: use CheckPreliminary with Options{Depth: depth, Budget: budget}.
 func PreliminarySatisfiesAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	s, err := NewSession(p)
-	if err != nil {
-		return chase.Unknown, nil, err
-	}
-	return s.PreliminarySatisfiesAtDepth(tgds, depth, budget)
+	return CheckPreliminary(p, tgds, Options{Depth: depth, Budget: budget})
 }
 
-// PreliminarySatisfiesAtDepth is the session form of the package-level
-// PreliminarySatisfiesAtDepth; the depth-k unfolded preliminary program is
-// prepared once per session and reused across candidate tgds.
-func (s *Session) PreliminarySatisfiesAtDepth(tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	if depth <= 1 {
-		return s.PreliminarySatisfies(tgds, budget)
-	}
-	e, err := s.prelimEntry(depth)
-	if err != nil {
-		return chase.Unknown, nil, err
-	}
-	for _, tau := range tgds {
-		v, cex, err := checkTGDOnce(e.prep, e.idb, tau, e.opts)
-		if err != nil {
-			return chase.Unknown, nil, err
-		}
-		if v == chase.No {
-			if !e.complete {
-				// The unfolding was truncated; the violation may be an
-				// artifact of the missing derivations.
-				return chase.Unknown, cex, nil
-			}
-			return chase.No, cex, nil
-		}
-	}
-	return chase.Yes, nil, nil
-}
-
-// NonRecursivelyAtDepth strengthens the Fig. 3 test by the same move
-// Section X's closing remark applies to the preliminary DB: instead of one
-// application of P, consider k-round blocks. The partially unfolded
-// program Q (internal/unfold.Partial) has Qⁿ(d) equal to k rounds of P, so
-// running Fig. 3 against Q certifies ⟨d, Qⁿ(d)⟩ ∈ SAT(T) for all
-// d ∈ SAT(T) — and since P(d) is the limit of k-round blocks each
-// preserving T, P preserves T. Depth 1 coincides with NonRecursively.
+// PreliminarySatisfiesAtDepth decides depth-k condition (3′).
 //
-// A No verdict at depth k means a k-round block can break T starting from
-// some DB in SAT(T); a larger depth may still succeed (witnesses gain
-// rounds too), so callers typically probe increasing depths. A truncated
-// unfolding demotes No to Unknown.
-func NonRecursivelyAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	s, err := NewSession(p)
-	if err != nil {
-		return chase.Unknown, nil, err
-	}
-	return s.NonRecursivelyAtDepth(tgds, depth, budget)
+// Deprecated: use Session.CheckPreliminary with Options{Depth: depth,
+// Budget: budget}.
+func (s *Session) PreliminarySatisfiesAtDepth(tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	return s.CheckPreliminary(tgds, Options{Depth: depth, Budget: budget})
 }
 
-// NonRecursivelyAtDepth is the session form of the package-level
-// NonRecursivelyAtDepth; the depth-k partial unfolding is prepared once per
-// session and reused across candidate tgds.
+// NonRecursivelyAtDepth decides depth-k preservation.
+//
+// Deprecated: use Check with Options{Depth: depth, Budget: budget}.
+func NonRecursivelyAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
+	return Check(p, tgds, Options{Depth: depth, Budget: budget})
+}
+
+// NonRecursivelyAtDepth decides depth-k preservation.
+//
+// Deprecated: use Session.Check with Options{Depth: depth, Budget: budget}.
 func (s *Session) NonRecursivelyAtDepth(tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	if depth <= 1 {
-		return s.NonRecursively(tgds, budget)
-	}
-	e, err := s.partialEntry(depth)
-	if err != nil {
-		return chase.Unknown, nil, err
-	}
-	sawUnknown := false
-	for _, tau := range tgds {
-		v, cex, err := checkTGD(e.prep, e.idb, tgds, tau, budget, e.opts)
-		if err != nil {
-			return chase.Unknown, nil, err
-		}
-		switch v {
-		case chase.No:
-			if !e.complete {
-				return chase.Unknown, cex, nil
-			}
-			return chase.No, cex, nil
-		case chase.Unknown:
-			sawUnknown = true
-		}
-	}
-	if sawUnknown {
-		return chase.Unknown, nil, nil
-	}
-	return chase.Yes, nil, nil
+	return s.Check(tgds, Options{Depth: depth, Budget: budget})
 }

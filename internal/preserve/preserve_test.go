@@ -23,7 +23,7 @@ func TestExample13And14Preservation(t *testing.T) {
 		G(x, z) :- A(x, z).
 		G(x, z) :- G(x, y), G(y, z), A(y, w).
 	`)
-	v, cex, err := NonRecursively(p1, tgds("G(x, z) -> A(x, w)."), chase.Budget{})
+	v, cex, err := Check(p1, tgds("G(x, z) -> A(x, w)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestExample15TwoAtomLHS(t *testing.T) {
 	// r: G(x,z) :- G(x,y), G(y,z), A(y,w) preserves
 	// τ: G(x,y) ∧ G(y,z) -> A(y,w); all four combinations pass.
 	r := parser.MustParseProgram(`G(x, z) :- G(x, y), G(y, z), A(y, w).`)
-	v, cex, err := NonRecursively(r, tgds("G(x, y), G(y, z) -> A(y, w)."), chase.Budget{})
+	v, cex, err := Check(r, tgds("G(x, y), G(y, z) -> A(y, w)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestExample16(t *testing.T) {
 	// r: G(x,z) :- A(x,y), G(y,z), G(y,w), C(w) preserves
 	// τ: G(y,z) -> G(y,w) ∧ C(w).
 	r := parser.MustParseProgram(`G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).`)
-	v, cex, err := NonRecursively(r, tgds("G(y, z) -> G(y, w), C(w)."), chase.Budget{})
+	v, cex, err := Check(r, tgds("G(y, z) -> G(y, w), C(w)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestNonPreservationDetected(t *testing.T) {
 	// Pure transitive closure does NOT preserve "every G edge has a
 	// parallel A edge": composing two G edges loses the A witness.
 	p := parser.MustParseProgram(`G(x, z) :- G(x, y), G(y, z).`)
-	v, cex, err := NonRecursively(p, tgds("G(x, y) -> A(x, y)."), chase.Budget{})
+	v, cex, err := Check(p, tgds("G(x, y) -> A(x, y)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestEmbeddedNonTerminationGivesUnknown(t *testing.T) {
 	// fixpoint and the violation of τ1 never resolves: budget → Unknown.
 	p := parser.MustParseProgram(`G(x, z) :- G(x, y), G(y, z).`)
 	T := tgds("G(x, y) -> B(x, y).", "B(x, y) -> B(y, z).")
-	v, _, err := NonRecursively(p, T, chase.Budget{MaxAtoms: 40, MaxRounds: 12})
+	v, _, err := Check(p, T, Options{Budget: chase.Budget{MaxAtoms: 40, MaxRounds: 12}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestExample18PreliminarySatisfies(t *testing.T) {
 		G(x, z) :- A(x, z).
 		G(x, z) :- G(x, y), G(y, z), A(y, w).
 	`)
-	v, cex, err := PreliminarySatisfies(p1, tgds("G(x, z) -> A(x, w)."), chase.Budget{})
+	v, cex, err := CheckPreliminary(p1, tgds("G(x, z) -> A(x, w)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestExample19PreliminarySatisfies(t *testing.T) {
 		G(x, z) :- A(x, z), C(z).
 		G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).
 	`)
-	v, cex, err := PreliminarySatisfies(p1, tgds("G(y, z) -> G(y, w), C(w)."), chase.Budget{})
+	v, cex, err := CheckPreliminary(p1, tgds("G(y, z) -> G(y, w), C(w)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestPreliminaryViolationDetected(t *testing.T) {
 		G(x, z) :- A(x, z).
 		G(x, z) :- G(x, y), G(y, z).
 	`)
-	v, cex, err := PreliminarySatisfies(p, tgds("G(x, z) -> C(z)."), chase.Budget{})
+	v, cex, err := CheckPreliminary(p, tgds("G(x, z) -> C(z)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestRepeatedVariableHeadSoundness(t *testing.T) {
 	// them and wrongly report preservation. The mgu-level procedure finds
 	// the violation of G(x,y) -> A(x).
 	p := parser.MustParseProgram(`G(z, z) :- B(z).`)
-	v, cex, err := PreliminarySatisfies(p, tgds("G(x, y) -> A(x)."), chase.Budget{})
+	v, cex, err := CheckPreliminary(p, tgds("G(x, y) -> A(x)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestRepeatedVariableHeadSoundness(t *testing.T) {
 	}
 	// And the satisfied variant passes.
 	p2 := parser.MustParseProgram(`G(z, z) :- B(z), A(z).`)
-	v, _, err = PreliminarySatisfies(p2, tgds("G(x, y) -> A(x)."), chase.Budget{})
+	v, _, err = CheckPreliminary(p2, tgds("G(x, y) -> A(x)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestExtensionalLHSAtoms(t *testing.T) {
 	p := parser.MustParseProgram(`G(x, z) :- A(x, z).`)
 	// A(x,y) -> G(x,y) after one non-recursive application: holds, since
 	// the init rule derives exactly that.
-	v, cex, err := NonRecursively(p, tgds("A(x, y) -> G(x, y)."), chase.Budget{})
+	v, cex, err := Check(p, tgds("A(x, y) -> G(x, y)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestExtensionalLHSAtoms(t *testing.T) {
 	// A(x,y) -> Z(x): a purely extensional LHS can only be instantiated in
 	// d itself, and d ∈ SAT(T) already provides the witness — so every
 	// program trivially preserves such a tgd non-recursively.
-	v, _, err = NonRecursively(p, tgds("A(x, y) -> Z(x)."), chase.Budget{})
+	v, _, err = Check(p, tgds("A(x, y) -> Z(x)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestExtensionalLHSAtoms(t *testing.T) {
 	}
 	// But the preliminary-DB variant makes no SAT(T) assumption on the EDB,
 	// so the same tgd is refutable there.
-	v, _, err = PreliminarySatisfies(p, tgds("A(x, y) -> Z(x)."), chase.Budget{})
+	v, _, err = CheckPreliminary(p, tgds("A(x, y) -> Z(x)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestTrivialRuleCombinationNeeded(t *testing.T) {
 	// that fails. P derives G(x,z) from E(x,z) only; the tgd claims chained
 	// G atoms have a C witness, which d alone need not provide.
 	p := parser.MustParseProgram(`G(x, z) :- E(x, z).`)
-	v, _, err := NonRecursively(p, tgds("G(x, y), G(y, z) -> C(y)."), chase.Budget{})
+	v, _, err := Check(p, tgds("G(x, y), G(y, z) -> C(y)."), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,14 +219,14 @@ func TestTrivialRuleCombinationNeeded(t *testing.T) {
 
 func TestPreservationWithNoTgds(t *testing.T) {
 	p := parser.MustParseProgram(`G(x, z) :- A(x, z).`)
-	v, _, err := NonRecursively(p, nil, chase.Budget{})
+	v, _, err := Check(p, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != chase.Yes {
 		t.Fatalf("empty T: verdict %v", v)
 	}
-	v, _, err = PreliminarySatisfies(p, nil, chase.Budget{})
+	v, _, err = CheckPreliminary(p, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,10 +237,10 @@ func TestPreservationWithNoTgds(t *testing.T) {
 
 func TestNegationRejected(t *testing.T) {
 	p := parser.MustParseProgram(`P(x) :- A(x), !B(x).`)
-	if _, _, err := NonRecursively(p, tgds("P(x) -> A(x)."), chase.Budget{}); err == nil {
+	if _, _, err := Check(p, tgds("P(x) -> A(x)."), Options{}); err == nil {
 		t.Fatal("negation accepted")
 	}
-	if _, _, err := PreliminarySatisfies(p, tgds("P(x) -> A(x)."), chase.Budget{}); err == nil {
+	if _, _, err := CheckPreliminary(p, tgds("P(x) -> A(x)."), Options{}); err == nil {
 		t.Fatal("negation accepted by preliminary test")
 	}
 }

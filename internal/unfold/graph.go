@@ -1,0 +1,437 @@
+package unfold
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// The unfolding engine materializes the derivation hypergraph it explores.
+// A node is one unfolded rule up to alpha-renaming and body order (its
+// canonical key); an edge records that substituting the child nodes into
+// the intentional positions of one original rule yields the result node.
+// Heights are availability layers: a node is available at layer d when some
+// derivation tree of height ≤ d produces it, and only nodes available
+// within the depth bound appear in the output program.
+//
+// Recording the graph is what makes one-rule deltas cheap: Patch drops the
+// replaced rule's edges, re-layers the remainder by dynamic programming
+// (no unification — those combinations were already proved), and runs the
+// semi-naive expansion only for combinations that involve the new rule or
+// a child that had never been enumerable before.
+
+const (
+	kindToDepth = iota
+	kindPartial
+)
+
+// leafChild marks an intentional position kept unexpanded (Partial only).
+const leafChild = int32(-1)
+
+// unode is one unfolded rule, keyed by its canonical form.
+type unode struct {
+	rule ast.Rule // canonical representative: renamed + body-sorted
+	key  string
+	// height is the node's availability layer in the most recent build or
+	// patch run; 0 means not derivable within the depth bound.
+	height int32
+	// covered records that the node has been available as a substitution
+	// child (height ≤ depth-1) in some completed run: every combination
+	// over covered nodes is already recorded as an edge, so a patch only
+	// enumerates combinations touching uncovered ("new") nodes.
+	covered bool
+	// nd marks, during a patch run, nodes newly available this run that
+	// were never covered — the enumeration frontier.
+	nd bool
+}
+
+// uedge records one substitution: original rule root with children (node
+// ids per intentional body position, ascending; leafChild = unexpanded)
+// yields result. Unification is deterministic, so (root, children)
+// determines the result.
+type uedge struct {
+	root     int32
+	children []int32
+	result   int32
+}
+
+type graph struct {
+	kind     int
+	src      *ast.Program
+	depth    int
+	maxRules int
+	nodes    []*unode
+	byKey    map[string]int32
+	edges    []*uedge
+	edgeSeen map[string]struct{}
+}
+
+func newGraph(p *ast.Program, depth, maxRules, kind int) *graph {
+	return &graph{
+		kind:     kind,
+		src:      p.Clone(),
+		depth:    depth,
+		maxRules: maxRules,
+		byKey:    make(map[string]int32),
+		edgeSeen: make(map[string]struct{}),
+	}
+}
+
+// cloneFor copies the graph for a patch run against the new program,
+// dropping every edge rooted at the replaced rule and resetting the
+// per-run node state (heights, frontier marks) while keeping coverage.
+func (g *graph) cloneFor(np *ast.Program, dropRoot int) *graph {
+	ng := &graph{
+		kind:     g.kind,
+		src:      np,
+		depth:    g.depth,
+		maxRules: g.maxRules,
+		nodes:    make([]*unode, len(g.nodes)),
+		byKey:    make(map[string]int32, len(g.nodes)),
+		edges:    make([]*uedge, 0, len(g.edges)),
+		edgeSeen: make(map[string]struct{}, len(g.edges)),
+	}
+	for i, n := range g.nodes {
+		cp := *n
+		cp.height = 0
+		cp.nd = false
+		ng.nodes[i] = &cp
+		ng.byKey[cp.key] = int32(i)
+	}
+	for _, e := range g.edges {
+		if int(e.root) == dropRoot {
+			continue
+		}
+		ng.edges = append(ng.edges, e)
+		ng.edgeSeen[edgeKey(e.root, e.children)] = struct{}{}
+	}
+	return ng
+}
+
+func edgeKey(root int32, children []int32) string {
+	var sb strings.Builder
+	sb.Grow(4 + 4*len(children))
+	sb.WriteString(strconv.Itoa(int(root)))
+	for _, c := range children {
+		sb.WriteByte(';')
+		sb.WriteString(strconv.Itoa(int(c)))
+	}
+	return sb.String()
+}
+
+// canonicalize renders r with variables renamed in order of first
+// occurrence and body atoms sorted by their rendering, returning the
+// canonical rule and its key. Alpha-equivalent (and body-permuted, when the
+// renaming agrees) unfoldings collapse to one node, and the representative
+// is a function of the key alone — a patched and a fresh unfolding of the
+// same program emit byte-identical rules. (Renaming depends on the original
+// body order, so this is a heuristic dedup, not a full isomorphism check —
+// duplicates that slip through only cost time, never correctness.)
+func canonicalize(r ast.Rule) (ast.Rule, string) {
+	names := map[string]string{}
+	rename := func(v string) string {
+		if n, ok := names[v]; ok {
+			return n
+		}
+		n := fmt.Sprintf("v%d", len(names))
+		names[v] = n
+		return n
+	}
+	canon := r.Rename(rename)
+	rendered := make([]string, len(canon.Body))
+	for i, a := range canon.Body {
+		rendered[i] = a.String()
+	}
+	sort.Sort(&bodyByRendering{atoms: canon.Body, rendered: rendered})
+	var sb strings.Builder
+	sb.WriteString(canon.Head.String())
+	sb.WriteString(":-")
+	sb.WriteString(strings.Join(rendered, ","))
+	return canon, sb.String()
+}
+
+type bodyByRendering struct {
+	atoms    []ast.Atom
+	rendered []string
+}
+
+func (b *bodyByRendering) Len() int           { return len(b.atoms) }
+func (b *bodyByRendering) Less(i, j int) bool { return b.rendered[i] < b.rendered[j] }
+func (b *bodyByRendering) Swap(i, j int) {
+	b.atoms[i], b.atoms[j] = b.atoms[j], b.atoms[i]
+	b.rendered[i], b.rendered[j] = b.rendered[j], b.rendered[i]
+}
+
+// runState is the per-run working state shared by fresh builds and patches.
+type runState struct {
+	g        *graph
+	idb      map[string]bool
+	byPred   map[string][]int32 // available node ids by head predicate
+	perLayer []int              // nodes that became available per layer
+	avail    int
+	overCap  bool
+	counter  int // rename-apart tag for candidate substitution
+}
+
+func (g *graph) newRun(idb map[string]bool) *runState {
+	return &runState{
+		g:        g,
+		idb:      idb,
+		byPred:   make(map[string][]int32),
+		perLayer: make([]int, g.depth+1),
+	}
+}
+
+func (rs *runState) countIDB(r ast.Rule) int {
+	n := 0
+	for _, a := range r.Body {
+		if rs.idb[a.Pred] {
+			n++
+		}
+	}
+	return n
+}
+
+// intern returns the node id for r's canonical form, creating it if new.
+func (rs *runState) intern(r ast.Rule) int32 {
+	canon, key := canonicalize(r)
+	if id, ok := rs.g.byKey[key]; ok {
+		return id
+	}
+	id := int32(len(rs.g.nodes))
+	rs.g.nodes = append(rs.g.nodes, &unode{rule: canon, key: key})
+	rs.g.byKey[key] = id
+	return id
+}
+
+// record stores the edge unless an identical one exists.
+func (rs *runState) record(root int32, children []int32, result int32) {
+	key := edgeKey(root, children)
+	if _, ok := rs.g.edgeSeen[key]; ok {
+		return
+	}
+	rs.g.edgeSeen[key] = struct{}{}
+	rs.g.edges = append(rs.g.edges, &uedge{root: root, children: children, result: result})
+}
+
+// markAvail makes the node available at the given layer (idempotent: the
+// first, lowest layer wins).
+func (rs *runState) markAvail(id int32, layer int32) {
+	n := rs.g.nodes[id]
+	if n.height != 0 {
+		return
+	}
+	n.height = layer
+	n.nd = !n.covered
+	rs.byPred[n.rule.Head.Pred] = append(rs.byPred[n.rule.Head.Pred], id)
+	rs.perLayer[layer]++
+	rs.avail++
+	if rs.avail > rs.g.maxRules {
+		rs.overCap = true
+	}
+}
+
+func (rs *runState) newAt(layer int32) int { return rs.perLayer[layer] }
+
+// candClass selects substitution candidates for one intentional position.
+type candClass struct {
+	ids  []int32
+	leaf bool // the position may stay a leaf (Partial old/any classes)
+}
+
+// filter returns the available nodes of pred with lo ≤ height ≤ hi,
+// restricted to the frontier (nd) or its complement when ndOnly is
+// non-zero (+1 frontier, -1 covered complement).
+func (rs *runState) filter(pred string, lo, hi int32, ndOnly int) []int32 {
+	var out []int32
+	for _, id := range rs.byPred[pred] {
+		n := rs.g.nodes[id]
+		if n.height < lo || n.height > hi {
+			continue
+		}
+		if ndOnly > 0 && !n.nd || ndOnly < 0 && n.nd {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// expandNew enumerates, at layer d, every substitution combination for rule
+// r whose least new position holds a child first available at layer d-1 —
+// the standard semi-naive window, so each combination is enumerated at
+// exactly one layer. Used by fresh builds (all nodes are new) and for the
+// replaced rule during a patch (all its combinations must be redone).
+func (rs *runState) expandNew(root int32, r ast.Rule, d int32) {
+	m := rs.countIDB(r)
+	if m == 0 {
+		return
+	}
+	leaf := rs.g.kind == kindPartial
+	for t := 0; t < m; t++ {
+		classes := make([]candClass, m)
+		preds := rs.idbPreds(r)
+		empty := false
+		for asc := 0; asc < m; asc++ {
+			switch {
+			case asc < t:
+				classes[asc] = candClass{ids: rs.filter(preds[asc], 1, d-2, 0), leaf: leaf}
+			case asc == t:
+				classes[asc] = candClass{ids: rs.filter(preds[asc], d-1, d-1, 0)}
+				if len(classes[asc].ids) == 0 {
+					empty = true
+				}
+			default:
+				classes[asc] = candClass{ids: rs.filter(preds[asc], 1, d-1, 0), leaf: leaf}
+			}
+		}
+		if empty {
+			continue
+		}
+		if !rs.expand(root, r, d, classes) {
+			return
+		}
+	}
+}
+
+// expandFrontier enumerates, at layer d, combinations for an unchanged rule
+// whose least frontier position holds a node never covered by a previous
+// run — everything else is already recorded. Cross-layer repeats of a
+// frontier combination are deduplicated by the edge table.
+func (rs *runState) expandFrontier(root int32, r ast.Rule, d int32) {
+	m := rs.countIDB(r)
+	if m == 0 {
+		return
+	}
+	leaf := rs.g.kind == kindPartial
+	for t := 0; t < m; t++ {
+		classes := make([]candClass, m)
+		preds := rs.idbPreds(r)
+		empty := false
+		for asc := 0; asc < m; asc++ {
+			switch {
+			case asc < t:
+				classes[asc] = candClass{ids: rs.filter(preds[asc], 1, d-1, -1), leaf: leaf}
+			case asc == t:
+				classes[asc] = candClass{ids: rs.filter(preds[asc], 1, d-1, +1)}
+				if len(classes[asc].ids) == 0 {
+					empty = true
+				}
+			default:
+				classes[asc] = candClass{ids: rs.filter(preds[asc], 1, d-1, 0), leaf: leaf}
+			}
+		}
+		if empty {
+			continue
+		}
+		if !rs.expand(root, r, d, classes) {
+			return
+		}
+	}
+}
+
+func (rs *runState) idbPreds(r ast.Rule) []string {
+	var preds []string
+	for _, a := range r.Body {
+		if rs.idb[a.Pred] {
+			preds = append(preds, a.Pred)
+		}
+	}
+	return preds
+}
+
+// expand substitutes candidates into rule r, one class per intentional
+// position (ascending order), emitting every successful unification as a
+// node available at layer d plus its recording edge. Unification is
+// mgu-level (a constant in a child's head can specialize the whole rule).
+// Positions are processed right-to-left so body indexes stay valid when an
+// atom is replaced by a multi-atom child body. Returns false when the rule
+// cap was hit.
+func (rs *runState) expand(root int32, r ast.Rule, d int32, classes []candClass) bool {
+	var idbPos []int
+	for i, a := range r.Body {
+		if rs.idb[a.Pred] {
+			idbPos = append(idbPos, i)
+		}
+	}
+	m := len(idbPos)
+	children := make([]int32, m)
+	var rec func(pos int, cur ast.Rule) bool
+	rec = func(pos int, cur ast.Rule) bool {
+		if pos == m {
+			id := rs.intern(cur)
+			rs.record(root, append([]int32(nil), children...), id)
+			rs.markAvail(id, d)
+			return !rs.overCap
+		}
+		asc := m - 1 - pos
+		i := idbPos[asc]
+		cls := classes[asc]
+		if cls.leaf {
+			children[asc] = leafChild
+			if !rec(pos+1, cur) {
+				return false
+			}
+		}
+		atom := cur.Body[i]
+		for _, cid := range cls.ids {
+			cand := rs.g.nodes[cid].rule
+			rs.counter++
+			tag := rs.counter
+			fresh := cand.Rename(func(v string) string {
+				return fmt.Sprintf("%s·u%d", v, tag)
+			})
+			u := ast.NewUnifier()
+			if !u.UnifyAtoms(atom, fresh.Head) {
+				continue
+			}
+			next := ast.Rule{Head: u.Apply(cur.Head)}
+			for j, b := range cur.Body {
+				if j == i {
+					next.Body = append(next.Body, u.ApplyAll(fresh.Body)...)
+					continue
+				}
+				next.Body = append(next.Body, u.Apply(b))
+			}
+			children[asc] = cid
+			if !rec(pos+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, r.Clone())
+}
+
+// finish closes a run: coverage is advanced to this run's availability and
+// the output program is assembled in deterministic (predicate, key) order.
+// A capped run yields a truncated program with no graph — it cannot be
+// patched, only rebuilt.
+func (rs *runState) finish() Result {
+	g := rs.g
+	var avail []*unode
+	for _, n := range g.nodes {
+		if n.height > 0 {
+			avail = append(avail, n)
+		}
+		n.covered = n.height > 0 && int(n.height) <= g.depth-1
+		n.nd = false
+	}
+	sort.Slice(avail, func(i, j int) bool {
+		if avail[i].rule.Head.Pred != avail[j].rule.Head.Pred {
+			return avail[i].rule.Head.Pred < avail[j].rule.Head.Pred
+		}
+		return avail[i].key < avail[j].key
+	})
+	out := ast.NewProgram()
+	for _, n := range avail {
+		out.Rules = append(out.Rules, n.rule.Clone())
+	}
+	if rs.overCap {
+		return Result{Program: out, Complete: false}
+	}
+	return Result{Program: out, Complete: true, g: g}
+}

@@ -94,7 +94,7 @@ func TestNonRecursivelyAtDepth(t *testing.T) {
 	p := depth2Program()
 	tau := parser.MustParseTGD("R(x, y) -> H(x).")
 	// Depth 1 fails: one application of the R-init rule yields R without H.
-	v, _, err := preserve.NonRecursively(p, []ast.TGD{tau}, chase.Budget{})
+	v, _, err := preserve.Check(p, []ast.TGD{tau}, preserve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestNonRecursivelyAtDepth(t *testing.T) {
 		t.Fatalf("depth-1 preservation verdict %v, want no", v)
 	}
 	// Depth 2 succeeds: the two-round block derives H(x) from A(x,q).
-	v, cex, err := preserve.NonRecursivelyAtDepth(p, []ast.TGD{tau}, 2, chase.Budget{})
+	v, cex, err := preserve.Check(p, []ast.TGD{tau}, preserve.Options{Depth: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

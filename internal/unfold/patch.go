@@ -1,0 +1,137 @@
+package unfold
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Patch re-unfolds the result across a one-rule replacement of the source
+// program: rule ruleIdx is replaced by newRule (which must keep the head
+// predicate, the weakening shape the equivopt pipeline produces, so the
+// intentional signature is unchanged). Only derivation trees that pass
+// through the changed rule are re-derived:
+//
+//  1. every recorded edge rooted at the old rule is dropped;
+//  2. the surviving hypergraph is re-layered by dynamic programming — a
+//     node is available at layer d when some recorded edge derives it from
+//     children available by layer d-1 — with no unification re-done for
+//     combinations a previous run already proved;
+//  3. the semi-naive expansion runs only for the new rule (all its
+//     combinations are new) and for combinations of unchanged rules that
+//     substitute at least one node never before enumerable as a child.
+//
+// The patched Result is exactly what a fresh ToDepth/Partial of the new
+// program would produce — byte-identical output program — and can itself
+// be patched again. Truncated results and deltas Patch cannot absorb
+// (deletion, head change, cap overflow during the patch) return an error
+// wrapping ErrUnpatchable; callers rebuild fresh.
+func (res Result) Patch(ruleIdx int, newRule ast.Rule) (Result, error) {
+	g := res.g
+	if g == nil || !res.Complete {
+		return Result{}, fmt.Errorf("%w: no derivation graph (truncated or zero Result)", ErrUnpatchable)
+	}
+	if ruleIdx < 0 || ruleIdx >= len(g.src.Rules) {
+		return Result{}, fmt.Errorf("unfold: rule index %d out of range [0,%d)", ruleIdx, len(g.src.Rules))
+	}
+	if err := newRule.Validate(); err != nil {
+		return Result{}, fmt.Errorf("unfold: invalid replacement rule: %w", err)
+	}
+	if newRule.HasNegation() {
+		return Result{}, fmt.Errorf("%w: negated replacement", ErrUnpatchable)
+	}
+	if newRule.Head.Pred != g.src.Rules[ruleIdx].Head.Pred {
+		return Result{}, fmt.Errorf("%w: head predicate change", ErrUnpatchable)
+	}
+
+	np := g.src.ReplaceRule(ruleIdx, newRule)
+	ng := g.cloneFor(np, ruleIdx)
+	rs := ng.newRun(np.IDBPredicates())
+	root := int32(ruleIdx)
+
+	// pending: surviving edges not yet re-activated. An edge fires at the
+	// first layer where all its children are available, giving its result
+	// that height — the DP that replaces re-unification.
+	pending := append([]*uedge(nil), ng.edges...)
+	activate := func(d int32) {
+		kept := pending[:0]
+		for _, e := range pending {
+			if ng.nodes[e.result].height != 0 {
+				continue // result already reached at a lower layer
+			}
+			ready := true
+			for _, c := range e.children {
+				if c == leafChild {
+					continue
+				}
+				h := ng.nodes[c].height
+				if h == 0 || h > d-1 {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				kept = append(kept, e)
+				continue
+			}
+			rs.markAvail(e.result, d)
+		}
+		pending = kept
+	}
+
+	// Layer 1: surviving base edges (no expandable children) plus the new
+	// rule's own base derivation.
+	for _, e := range ng.edges {
+		base := true
+		for _, c := range e.children {
+			if c != leafChild {
+				base = false
+				break
+			}
+		}
+		if base {
+			rs.markAvail(e.result, 1)
+		}
+	}
+	nIDB := rs.countIDB(newRule)
+	switch ng.kind {
+	case kindToDepth:
+		if nIDB == 0 {
+			id := rs.intern(newRule)
+			rs.record(root, nil, id)
+			rs.markAvail(id, 1)
+		}
+	case kindPartial:
+		id := rs.intern(newRule)
+		children := make([]int32, nIDB)
+		for i := range children {
+			children[i] = leafChild
+		}
+		rs.record(root, children, id)
+		rs.markAvail(id, 1)
+	}
+
+	for d := int32(2); d <= int32(ng.depth) && !rs.overCap; d++ {
+		if rs.newAt(d-1) == 0 {
+			break // nothing new became available: fixpoint
+		}
+		activate(d)
+		rs.expandNew(root, newRule, d)
+		if rs.overCap {
+			break
+		}
+		for j, r := range np.Rules {
+			if int32(j) == root {
+				continue
+			}
+			rs.expandFrontier(int32(j), r, d)
+			if rs.overCap {
+				break
+			}
+		}
+	}
+	if rs.overCap {
+		return Result{}, fmt.Errorf("%w: rule cap exceeded while patching", ErrUnpatchable)
+	}
+	return rs.finish(), nil
+}

@@ -1,0 +1,154 @@
+package unfold_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/unfold"
+	"repro/internal/workload"
+)
+
+// weakenDelta picks a random same-head single-atom weakening of some rule
+// of q: the exact delta shape the equivopt pipeline feeds Patch. ok=false
+// when no rule admits one.
+func weakenDelta(q *ast.Program, rng *rand.Rand) (int, ast.Rule, bool) {
+	for attempt := 0; attempt < 12; attempt++ {
+		i := rng.Intn(len(q.Rules))
+		r := q.Rules[i]
+		if len(r.Body) < 2 {
+			continue
+		}
+		cand := r.WithoutBodyAtom(rng.Intn(len(r.Body)))
+		if cand.WellFormed() {
+			return i, cand, true
+		}
+	}
+	return 0, ast.Rule{}, false
+}
+
+// TestPatchMatchesFreshUnfold is the core property of the incremental
+// unfolding: a Result reached through any chain of Patch deltas is
+// byte-identical (canonical program string) to a fresh unfolding of the
+// final program, for both the full (ToDepth) and partial (Partial) engines,
+// at every depth the preservation layer probes.
+func TestPatchMatchesFreshUnfold(t *testing.T) {
+	kinds := []struct {
+		name  string
+		build func(*ast.Program, int, int) (unfold.Result, error)
+	}{
+		{"ToDepth", unfold.ToDepth},
+		{"Partial", unfold.Partial},
+	}
+	for _, kind := range kinds {
+		for seed := int64(0); seed < 40; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			q := workload.RandomProgram(rng, 2+rng.Intn(3))
+			if q.Validate() != nil || q.HasNegation() {
+				continue
+			}
+			for depth := 2; depth <= 3; depth++ {
+				res, err := kind.build(q, depth, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := q
+				for step := 0; step < 3 && res.Patchable(); step++ {
+					i, nr, ok := weakenDelta(cur, rng)
+					if !ok {
+						break
+					}
+					patched, err := res.Patch(i, nr)
+					if err != nil {
+						t.Fatalf("%s seed %d depth %d step %d: patch: %v", kind.name, seed, depth, step, err)
+					}
+					cur = cur.ReplaceRule(i, nr)
+					fresh, err := kind.build(cur, depth, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := patched.Program.CanonicalString(), fresh.Program.CanonicalString(); got != want {
+						t.Fatalf("%s seed %d depth %d step %d: patched ≠ fresh\npatched:\n%s\nfresh:\n%s\nprogram:\n%s",
+							kind.name, seed, depth, step, got, want, cur)
+					}
+					if patched.Complete != fresh.Complete {
+						t.Fatalf("%s seed %d depth %d step %d: complete %v ≠ %v",
+							kind.name, seed, depth, step, patched.Complete, fresh.Complete)
+					}
+					res = patched
+				}
+			}
+		}
+	}
+}
+
+// TestPatchLayeredPrograms exercises multi-SCC shapes where the changed
+// rule feeds later strata: the cascade re-layering must follow derivations
+// through unchanged rules.
+func TestPatchLayeredPrograms(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z), B(z, z).
+		G(x, z) :- G(x, y), G(y, z).
+		H(x, z) :- G(x, z), B(x, z).
+		H(x, z) :- H(x, y), A(y, z).
+	`)
+	for depth := 2; depth <= 3; depth++ {
+		for i := 0; i < len(p.Rules); i++ {
+			r := p.Rules[i]
+			for k := range r.Body {
+				nr := r.WithoutBodyAtom(k)
+				if !nr.WellFormed() {
+					continue
+				}
+				res, err := unfold.Partial(p, depth, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				patched, err := res.Patch(i, nr)
+				if err != nil {
+					t.Fatalf("rule %d atom %d depth %d: %v", i, k, depth, err)
+				}
+				fresh, err := unfold.Partial(p.ReplaceRule(i, nr), depth, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if patched.Program.CanonicalString() != fresh.Program.CanonicalString() {
+					t.Fatalf("rule %d atom %d depth %d: patched ≠ fresh\npatched:\n%s\nfresh:\n%s",
+						i, k, depth, patched.Program, fresh.Program)
+				}
+			}
+		}
+	}
+}
+
+// TestPatchRejects covers the deltas Patch must refuse.
+func TestPatchRejects(t *testing.T) {
+	p := workload.TransitiveClosure()
+	res, err := unfold.ToDepth(p, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headChange := parser.MustParseProgram(`X(a, b) :- A(a, b).`).Rules[0]
+	if _, err := res.Patch(0, headChange); err == nil {
+		t.Fatal("head change accepted")
+	}
+	if _, err := res.Patch(99, p.Rules[0]); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	// A truncated result carries no graph.
+	trunc, err := unfold.ToDepth(p, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc.Patchable() {
+		t.Fatal("truncated result claims patchable")
+	}
+	if _, err := trunc.Patch(0, p.Rules[0]); err == nil {
+		t.Fatal("truncated result accepted a patch")
+	}
+	var zero unfold.Result
+	if _, err := zero.Patch(0, p.Rules[0]); err == nil {
+		t.Fatal("zero result accepted a patch")
+	}
+}

@@ -23,7 +23,9 @@ func TestDepth1IsInitRules(t *testing.T) {
 	if !res.Complete || len(res.Program.Rules) != 1 {
 		t.Fatalf("depth 1: %v", res.Program)
 	}
-	if !res.Program.Rules[0].Equal(p.Rules[0]) {
+	// Output rules are canonicalized (variables renamed by first
+	// occurrence), so compare canonical forms.
+	if res.Program.Rules[0].CanonicalString() != p.Rules[0].CanonicalString() {
 		t.Fatalf("depth-1 rule differs: %v", res.Program.Rules[0])
 	}
 }
@@ -164,14 +166,14 @@ func TestPreliminarySatisfiesAtDepth(t *testing.T) {
 		H(x) :- G(x, y).
 	`)
 	tau := parser.MustParseTGD("G(x, z) -> H(x).")
-	v, _, err := preserve.PreliminarySatisfies(p, []ast.TGD{tau}, chase.Budget{})
+	v, _, err := preserve.CheckPreliminary(p, []ast.TGD{tau}, preserve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != chase.No {
 		t.Fatalf("depth-1 verdict %v, want no", v)
 	}
-	v, _, err = preserve.PreliminarySatisfiesAtDepth(p, []ast.TGD{tau}, 2, chase.Budget{})
+	v, _, err = preserve.CheckPreliminary(p, []ast.TGD{tau}, preserve.Options{Depth: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +187,7 @@ func TestPreliminaryDepthConsistency(t *testing.T) {
 	p := workload.TransitiveClosureGuarded()
 	tau := parser.MustParseTGD("G(x, z) -> A(x, w).")
 	for depth := 1; depth <= 3; depth++ {
-		v, _, err := preserve.PreliminarySatisfiesAtDepth(p, []ast.TGD{tau}, depth, chase.Budget{})
+		v, _, err := preserve.CheckPreliminary(p, []ast.TGD{tau}, preserve.Options{Depth: depth})
 		if err != nil {
 			t.Fatal(err)
 		}
