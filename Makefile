@@ -4,7 +4,7 @@ GO ?= go
 BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE4|BenchmarkE5|BenchmarkE6|BenchmarkE7|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkAblation_PreserveDerive|BenchmarkIncrementalVsReEval
 BENCHTIME ?= 0.3s
 
-.PHONY: all build vet test race bench bench-all experiments examples clean
+.PHONY: all build vet datalog-vet test race bench bench-all experiments examples clean
 
 all: build vet test
 
@@ -13,6 +13,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# datalog-vet runs the repository's own static analyzer over the shipped
+# example programs; any error-severity finding fails the build. The seeded
+# defect corpus under testdata/vet/ is exercised separately by the golden
+# tests in cmd/datalog.
+datalog-vet:
+	$(GO) run ./cmd/datalog vet testdata/*.dl
 
 test:
 	$(GO) test ./...

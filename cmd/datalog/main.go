@@ -20,12 +20,14 @@
 //	datalog repl                       interactive session
 //	datalog tquery    <file> <atom>    answer via the tabled top-down engine
 //	datalog optimize  <file> <atom>    full pipeline: prune+minimize+equivopt+magic
+//	datalog vet       <file...>        static analysis; exit 1 on error findings
 //
 // A file argument of "-" reads standard input. Flags:
 //
 //	-naive   use the naive fixpoint strategy for eval/query
 //	-stats   print evaluation statistics
 //	-v       print cache/session statistics (compare, minimize)
+//	-json    machine-readable vet output
 package main
 
 import (
@@ -59,13 +61,14 @@ func run(args []string, out io.Writer) error {
 	naive := fs.Bool("naive", false, "use the naive fixpoint strategy")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
 	verbose := fs.Bool("v", false, "print cache/session statistics")
+	jsonOut := fs.Bool("json", false, "machine-readable vet output")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: datalog <parse|eval|query|tquery|optimize|minimize|equivopt|contains|compare|check|preserve|magic|explain|graph|fmt|repl> ...")
+		return fmt.Errorf("usage: datalog <parse|eval|query|tquery|optimize|minimize|equivopt|contains|compare|check|preserve|magic|explain|graph|fmt|vet|repl> ...")
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -343,6 +346,9 @@ func run(args []string, out io.Writer) error {
 			pres.Rewritten.Seed.Format(res.Symbols), pres.Rewritten.Query.Format(res.Symbols))
 		return nil
 
+	case "vet":
+		return vet(rest, *jsonOut, out)
+
 	case "graph":
 		res, err := load(rest, 0)
 		if err != nil {
@@ -375,8 +381,8 @@ func run(args []string, out io.Writer) error {
 // printSessionStats renders a containment session's cache counters plus the
 // process-wide plan cache state.
 func printSessionStats(out io.Writer, st eval.Stats) {
-	fmt.Fprintf(out, "%% session: plan hits=%d misses=%d, verdicts reused=%d recomputed=%d\n",
-		st.PrepareHits, st.PrepareMisses, st.VerdictsReused, st.VerdictsRecomputed)
+	fmt.Fprintf(out, "%% session: plan hits=%d misses=%d, verdicts reused=%d subsumed=%d recomputed=%d\n",
+		st.PrepareHits, st.PrepareMisses, st.VerdictsReused, st.VerdictsSubsumed, st.VerdictsRecomputed)
 	cs := eval.DefaultPlanCache.Stats()
 	fmt.Fprintf(out, "%% plan cache: hits=%d misses=%d evictions=%d entries=%d\n",
 		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// vet runs the static analyzer over each file and prints its findings,
+// human-readable by default or as a JSON array with -json. It returns an
+// error (so the process exits 1) iff any finding has error severity.
+func vet(files []string, jsonOut bool, out io.Writer) error {
+	if len(files) == 0 {
+		return fmt.Errorf("usage: datalog vet [-json] <file...>")
+	}
+	var all []vetFinding
+	errors := 0
+	for _, name := range files {
+		for _, d := range vetFile(name) {
+			all = append(all, vetFinding{File: name, Diagnostic: d})
+			if d.Severity == analysis.Error {
+				errors++
+			}
+		}
+	}
+	if jsonOut {
+		if err := writeVetJSON(out, all); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintln(out, f.human())
+			for _, rel := range f.Related {
+				fmt.Fprintf(out, "\t%s: %s\n", vetPos(f.File, rel.Pos), rel.Message)
+			}
+		}
+	}
+	if errors > 0 {
+		return fmt.Errorf("vet: %d error finding(s)", errors)
+	}
+	return nil
+}
+
+// vetFile analyzes one file. A source that does not parse yields a single
+// DL0000 diagnostic carrying the parser's position when the error message
+// has a "line:col: " prefix.
+func vetFile(name string) []analysis.Diagnostic {
+	src, err := read(name)
+	if err != nil {
+		return []analysis.Diagnostic{{
+			Code:     analysis.CodeParse,
+			Severity: analysis.Error,
+			Message:  err.Error(),
+		}}
+	}
+	res, err := parser.ParseLoose(src)
+	if err != nil {
+		pos, msg := splitParseError(err.Error())
+		return []analysis.Diagnostic{{
+			Code:     analysis.CodeParse,
+			Severity: analysis.Error,
+			Pos:      pos,
+			Message:  msg,
+		}}
+	}
+	return analysis.Analyze(res)
+}
+
+// splitParseError extracts a leading "line:col: " position from a parser
+// error message; absent one, the position stays unknown.
+func splitParseError(msg string) (ast.Pos, string) {
+	head, rest, ok := strings.Cut(msg, ": ")
+	if !ok {
+		return ast.Pos{}, msg
+	}
+	ls, cs, ok := strings.Cut(head, ":")
+	if !ok {
+		return ast.Pos{}, msg
+	}
+	line, err1 := strconv.Atoi(ls)
+	col, err2 := strconv.Atoi(cs)
+	if err1 != nil || err2 != nil || line <= 0 || col <= 0 {
+		return ast.Pos{}, msg
+	}
+	return ast.Pos{Line: line, Col: col}, rest
+}
+
+// vetFinding is one diagnostic tagged with the file it came from.
+type vetFinding struct {
+	File string
+	analysis.Diagnostic
+}
+
+// human renders "file:line:col: severity: message [CODE]".
+func (f vetFinding) human() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", vetPos(f.File, f.Pos), f.Severity, f.Message, f.Code)
+}
+
+// vetPos renders "file:line:col", or just the file when the position is
+// unknown.
+func vetPos(file string, pos ast.Pos) string {
+	if !pos.IsValid() {
+		return file
+	}
+	return fmt.Sprintf("%s:%s", file, pos)
+}
+
+// JSON shapes. Positions become nested objects; unknown positions are
+// omitted entirely rather than serialized as 0:0.
+type vetJSONPos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+type vetJSONRelated struct {
+	Pos     *vetJSONPos `json:"pos,omitempty"`
+	Message string      `json:"message"`
+}
+
+type vetJSONFinding struct {
+	File     string           `json:"file"`
+	Code     string           `json:"code"`
+	Severity string           `json:"severity"`
+	Pos      *vetJSONPos      `json:"pos,omitempty"`
+	Message  string           `json:"message"`
+	Related  []vetJSONRelated `json:"related,omitempty"`
+}
+
+func jsonPos(p ast.Pos) *vetJSONPos {
+	if !p.IsValid() {
+		return nil
+	}
+	return &vetJSONPos{Line: p.Line, Col: p.Col}
+}
+
+func writeVetJSON(out io.Writer, findings []vetFinding) error {
+	arr := make([]vetJSONFinding, 0, len(findings))
+	for _, f := range findings {
+		jf := vetJSONFinding{
+			File:     f.File,
+			Code:     f.Code,
+			Severity: f.Severity.String(),
+			Pos:      jsonPos(f.Pos),
+			Message:  f.Message,
+		}
+		for _, rel := range f.Related {
+			jf.Related = append(jf.Related, vetJSONRelated{Pos: jsonPos(rel.Pos), Message: rel.Message})
+		}
+		arr = append(arr, jf)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetGolden checks the human-readable vet output for each seeded-defect
+// program against its golden file. The goldens are generated from the repo
+// root, so the test's ../../ path prefix is normalized away before
+// comparing.
+func TestVetGolden(t *testing.T) {
+	corpus, err := filepath.Glob(testdataPath(filepath.Join("vet", "*.dl")))
+	if err != nil || len(corpus) == 0 {
+		t.Fatalf("no vet corpus found: %v", err)
+	}
+	for _, file := range corpus {
+		name := strings.TrimSuffix(filepath.Base(file), ".dl")
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			runErr := run([]string{"vet", file}, &sb)
+			got := strings.ReplaceAll(sb.String(), filepath.ToSlash(file), "testdata/vet/"+name+".dl")
+			goldenFile := testdataPath(filepath.Join("golden", "vet", name+".golden"))
+			want, err := os.ReadFile(goldenFile)
+			if err != nil {
+				t.Fatalf("golden: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("vet output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenFile, got, want)
+			}
+			// The exit behavior must agree with the findings: nonzero iff an
+			// error-severity finding is present.
+			if hasError := strings.Contains(string(want), ": error: "); hasError != (runErr != nil) {
+				t.Errorf("run error = %v, but golden has error findings = %v", runErr, hasError)
+			}
+		})
+	}
+}
+
+// TestVetExistingProgramsClean runs vet over every shipped example program:
+// the paper's own programs must produce no error-severity findings.
+func TestVetExistingProgramsClean(t *testing.T) {
+	files, err := filepath.Glob(testdataPath("*.dl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		var sb strings.Builder
+		if err := run([]string{"vet", file}, &sb); err != nil {
+			t.Errorf("vet %s: %v\n%s", file, err, sb.String())
+		}
+	}
+}
+
+// TestVetJSON checks the -json surface: a well-formed array whose entries
+// carry file, stable code, severity and 1-based positions.
+func TestVetJSON(t *testing.T) {
+	file := testdataPath(filepath.Join("vet", "unsafe.dl"))
+	var sb strings.Builder
+	if err := run([]string{"-json", "vet", file}, &sb); err == nil {
+		t.Fatal("vet should exit nonzero on unsafe.dl")
+	}
+	var findings []vetJSONFinding
+	if err := json.Unmarshal([]byte(sb.String()), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	codes := map[string]vetJSONFinding{}
+	for _, f := range findings {
+		if f.File == "" || f.Severity == "" {
+			t.Fatalf("incomplete finding: %+v", f)
+		}
+		codes[f.Code] = f
+	}
+	unbound, ok := codes["DL0001"]
+	if !ok || unbound.Severity != "error" || unbound.Pos == nil || unbound.Pos.Line != 3 || unbound.Pos.Col != 1 {
+		t.Fatalf("bad DL0001 finding: %+v", unbound)
+	}
+	if _, ok := codes["DL0002"]; !ok {
+		t.Fatalf("missing DL0002 in %v", codes)
+	}
+}
+
+// TestVetParseError: a file that does not parse yields one DL0000 with the
+// parser's line:col and a nonzero exit.
+func TestVetParseError(t *testing.T) {
+	bad := writeFile(t, "bad.dl", "G(x, z) :- A(x, z).\nP(x :- Q(x).\n")
+	var sb strings.Builder
+	if err := run([]string{"vet", bad}, &sb); err == nil {
+		t.Fatal("vet should fail on a parse error")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[DL0000]") {
+		t.Fatalf("missing DL0000:\n%s", out)
+	}
+	if !strings.Contains(out, ":2:") {
+		t.Fatalf("parse-error position not threaded through:\n%s", out)
+	}
+}
+
+// TestVetMultipleFiles aggregates findings across files, tagging each with
+// its source file.
+func TestVetMultipleFiles(t *testing.T) {
+	clean := writeFile(t, "clean.dl", tcSource+"Out(x) :- G(1, x).\n")
+	unsafe := testdataPath(filepath.Join("vet", "unsafe.dl"))
+	var sb strings.Builder
+	if err := run([]string{"vet", clean, unsafe}, &sb); err == nil {
+		t.Fatal("aggregate vet should still fail on the unsafe file")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "unsafe.dl:3:1") {
+		t.Fatalf("missing tagged finding:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "clean.dl") && strings.Contains(line, ": error: ") {
+			t.Fatalf("clean file produced an error finding: %s", line)
+		}
+	}
+}

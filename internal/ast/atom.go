@@ -7,10 +7,14 @@ import (
 
 // Atom is an atomic formula: a predicate applied to variables and constants
 // (Section II of the paper). In traditional database terminology the
-// predicate is a relation scheme.
+// predicate is a relation scheme. Pos is the source position of the
+// predicate name when the atom was parsed from text (zero = unknown); it is
+// carried through Clone/Apply/Rename but ignored by Equal and by the
+// canonical forms.
 type Atom struct {
 	Pred string
 	Args []Term
+	Pos  Pos
 }
 
 // NewAtom builds an atom from a predicate name and argument terms.
@@ -35,7 +39,7 @@ func (a Atom) IsGround() bool {
 func (a Atom) Clone() Atom {
 	args := make([]Term, len(a.Args))
 	copy(args, a.Args)
-	return Atom{Pred: a.Pred, Args: args}
+	return Atom{Pred: a.Pred, Args: args, Pos: a.Pos}
 }
 
 // Equal reports whether two atoms are syntactically identical.
@@ -89,7 +93,7 @@ func (a Atom) Apply(s Subst) Atom {
 	for i, t := range a.Args {
 		args[i] = t.Apply(s)
 	}
-	return Atom{Pred: a.Pred, Args: args}
+	return Atom{Pred: a.Pred, Args: args, Pos: a.Pos}
 }
 
 // Rename rewrites every variable name through f.
@@ -102,7 +106,7 @@ func (a Atom) Rename(f func(string) string) Atom {
 			args[i] = t
 		}
 	}
-	return Atom{Pred: a.Pred, Args: args}
+	return Atom{Pred: a.Pred, Args: args, Pos: a.Pos}
 }
 
 // Ground instantiates the atom under a binding; every variable of the atom

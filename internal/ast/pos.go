@@ -1,0 +1,37 @@
+package ast
+
+import "strconv"
+
+// Pos is a source position: 1-based line and column in the text a node was
+// parsed from. The zero value means "unknown"; programmatically built nodes
+// carry it, and every consumer must tolerate it. Positions are deliberately
+// excluded from Equal, canonical strings and hashes — two rules that differ
+// only in where they were written are the same rule.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position identifies a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for the unknown position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+}
+
+// Before reports whether p orders strictly before q, with unknown positions
+// ordering after every known one (diagnostics without a location sink to the
+// end of sorted listings).
+func (p Pos) Before(q Pos) bool {
+	if p.IsValid() != q.IsValid() {
+		return p.IsValid()
+	}
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}

@@ -10,11 +10,14 @@ import (
 // negated body literals; it is empty for the pure Datalog of the paper and
 // is used only by the stratified-negation extension the paper's conclusion
 // announces (Section XII). All optimization procedures reject rules with a
-// non-empty NegBody.
+// non-empty NegBody. Pos is the source position of the rule (its head atom)
+// when parsed from text; the zero value means unknown, and it is ignored by
+// Equal and the canonical forms.
 type Rule struct {
 	Head    Atom
 	Body    []Atom
 	NegBody []Atom
+	Pos     Pos
 }
 
 // NewRule builds a rule from a head and positive body atoms.
@@ -35,7 +38,7 @@ func (r Rule) Clone() Rule {
 			neg[i] = a.Clone()
 		}
 	}
-	return Rule{Head: r.Head.Clone(), Body: body, NegBody: neg}
+	return Rule{Head: r.Head.Clone(), Body: body, NegBody: neg, Pos: r.Pos}
 }
 
 // Equal reports whether two rules are syntactically identical (same head,
@@ -160,6 +163,7 @@ func (r Rule) Apply(s Subst) Rule {
 		Head:    r.Head.Apply(s),
 		Body:    ApplyAtoms(r.Body, s),
 		NegBody: ApplyAtoms(r.NegBody, s),
+		Pos:     r.Pos,
 	}
 }
 
@@ -176,7 +180,7 @@ func (r Rule) Rename(f func(string) string) Rule {
 			neg[i] = a.Rename(f)
 		}
 	}
-	return Rule{Head: r.Head.Rename(f), Body: body, NegBody: neg}
+	return Rule{Head: r.Head.Rename(f), Body: body, NegBody: neg, Pos: r.Pos}
 }
 
 // RenameApart renames the rule's variables so they are disjoint from any

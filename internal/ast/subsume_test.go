@@ -1,0 +1,199 @@
+package ast
+
+import "testing"
+
+func mkRule(t *testing.T, head string, body ...string) Rule {
+	t.Helper()
+	r := Rule{Head: mkAtomS(t, head)}
+	for _, b := range body {
+		if b[0] == '!' {
+			r.NegBody = append(r.NegBody, mkAtomS(t, b[1:]))
+		} else {
+			r.Body = append(r.Body, mkAtomS(t, b))
+		}
+	}
+	return r
+}
+
+// mkAtomS builds atoms without the parser (ast cannot import parser):
+// "P x y 3" — upper-case first token is the predicate, lower-case words are
+// variables, digits are integer constants.
+func mkAtomS(t *testing.T, s string) Atom {
+	t.Helper()
+	var fields []string
+	start := -1
+	for i, r := range s {
+		if r == ' ' {
+			if start >= 0 {
+				fields = append(fields, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		fields = append(fields, s[start:])
+	}
+	if len(fields) == 0 {
+		t.Fatalf("empty atom spec %q", s)
+	}
+	a := Atom{Pred: fields[0]}
+	for _, f := range fields[1:] {
+		if f[0] >= '0' && f[0] <= '9' {
+			var n int64
+			for _, c := range f {
+				n = n*10 + int64(c-'0')
+			}
+			a.Args = append(a.Args, IntTerm(n))
+		} else {
+			a.Args = append(a.Args, Var(f))
+		}
+	}
+	return a
+}
+
+func TestSubsumesRule(t *testing.T) {
+	cases := []struct {
+		name string
+		s, r Rule
+		want bool
+	}{
+		{
+			"identical",
+			mkRule(t, "G x z", "A x z"),
+			mkRule(t, "G x z", "A x z"),
+			true,
+		},
+		{
+			"alpha-variant",
+			mkRule(t, "G u w", "A u w"),
+			mkRule(t, "G x z", "A x z"),
+			true,
+		},
+		{
+			"general-subsumes-specialization",
+			mkRule(t, "G x z", "A x z"),
+			mkRule(t, "G x x", "A x x"),
+			true,
+		},
+		{
+			"specialization-does-not-subsume-general",
+			mkRule(t, "G x x", "A x x"),
+			mkRule(t, "G x z", "A x z"),
+			false,
+		},
+		{
+			"extra-target-atoms-ok",
+			mkRule(t, "G x z", "A x z"),
+			mkRule(t, "G x z", "A x z", "B z z"),
+			true,
+		},
+		{
+			"missing-target-atom",
+			mkRule(t, "G x z", "A x z", "B z z"),
+			mkRule(t, "G x z", "A x z"),
+			false,
+		},
+		{
+			"repeated-pattern-atoms-map-to-one-target",
+			mkRule(t, "G x z", "A x y", "A y z"),
+			mkRule(t, "G w w", "A w w"),
+			true,
+		},
+		{
+			"head-predicate-differs",
+			mkRule(t, "H x z", "A x z"),
+			mkRule(t, "G x z", "A x z"),
+			false,
+		},
+		{
+			"head-arity-differs",
+			mkRule(t, "G x", "A x x"),
+			mkRule(t, "G x z", "A x z"),
+			false,
+		},
+		{
+			"constant-matches-constant",
+			mkRule(t, "G x", "A x 3"),
+			mkRule(t, "G y", "A y 3"),
+			true,
+		},
+		{
+			"constant-does-not-match-variable",
+			mkRule(t, "G x", "A x 3"),
+			mkRule(t, "G y", "A y z"),
+			false,
+		},
+		{
+			"variable-matches-constant",
+			mkRule(t, "G x", "A x w"),
+			mkRule(t, "G y", "A y 3"),
+			true,
+		},
+		{
+			"backtracking-needed",
+			// First A-atom choice A(x,y)→A(a,b) forces y→b, then A(y,z)
+			// must match A(b,c); greedy left-to-right with a wrong first
+			// pick must recover.
+			mkRule(t, "G x z", "A x y", "A y z", "C z"),
+			mkRule(t, "G a c", "A a b", "A b c", "C c"),
+			true,
+		},
+		{
+			"negated-matches-negated",
+			mkRule(t, "G x", "A x", "!B x"),
+			mkRule(t, "G y", "A y", "!B y"),
+			true,
+		},
+		{
+			"negated-does-not-match-positive",
+			mkRule(t, "G x", "A x", "!B x"),
+			mkRule(t, "G y", "A y", "B y"),
+			false,
+		},
+		{
+			"fewer-negated-atoms-ok",
+			mkRule(t, "G x", "A x"),
+			mkRule(t, "G y", "A y", "!B y"),
+			true,
+		},
+	}
+	for _, tc := range cases {
+		if got := SubsumesRule(tc.s, tc.r); got != tc.want {
+			t.Errorf("%s: SubsumesRule(%s, %s) = %v, want %v", tc.name, tc.s, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestSubsumesRuleLeavesArgumentsUntouched(t *testing.T) {
+	s := mkRule(t, "G x z", "A x y", "A y z")
+	r := mkRule(t, "G a c", "A a b", "A b c")
+	sc, rc := s.Clone(), r.Clone()
+	if !SubsumesRule(s, r) {
+		t.Fatal("expected subsumption")
+	}
+	if !s.Equal(sc) || !r.Equal(rc) {
+		t.Fatal("SubsumesRule mutated its arguments")
+	}
+}
+
+func TestMatchAtomInto(t *testing.T) {
+	theta := make(Subst)
+	added, ok := MatchAtomInto(mkAtomS(t, "A x y x"), mkAtomS(t, "A u v u"), theta)
+	if !ok || len(added) != 2 {
+		t.Fatalf("match failed: added=%v ok=%v", added, ok)
+	}
+	if !theta["x"].Equal(Var("u")) || !theta["y"].Equal(Var("v")) {
+		t.Fatalf("wrong bindings: %v", theta)
+	}
+	// Repeated pattern variable with conflicting targets fails and leaves
+	// theta unchanged.
+	before := len(theta)
+	if _, ok := MatchAtomInto(mkAtomS(t, "B z z"), mkAtomS(t, "B p q"), theta); ok {
+		t.Fatal("conflicting repeated variable matched")
+	}
+	if len(theta) != before {
+		t.Fatal("failed match left bindings behind")
+	}
+}

@@ -133,6 +133,9 @@ type Checker struct {
 	// cache is the plan cache the lineage prepares through — the process-wide
 	// eval.DefaultPlanCache unless NewCheckerCache injected another.
 	cache *eval.PlanCache
+	// noSyntactic disables the θ-subsumption fast path (an ablation hook for
+	// oracle tests and benchmarks); inherited by derived sessions.
+	noSyntactic bool
 }
 
 // verdict is one memoized ContainsRule answer plus what Derive needs to
@@ -238,6 +241,15 @@ func (c *Checker) ContainsRule(r ast.Rule) (bool, error) {
 		c.stats.VerdictsReused++
 		return v.ok, nil
 	}
+	if idx, forced := c.syntacticVerdict(r); forced {
+		c.stats.VerdictsSubsumed++
+		v := verdict{ok: true, goal: r.Head.Pred}
+		if idx >= 0 {
+			v.prov.Add(idx)
+		}
+		c.pv.put(ckey, v)
+		return true, nil
+	}
 	head, body := c.frozenFor(r)
 	var prov eval.RuleSet
 	_, reached, _, err := c.prep.EvalGoalProv(body, &head, 0, &prov)
@@ -252,6 +264,49 @@ func (c *Checker) ContainsRule(r ast.Rule) (bool, error) {
 	c.pv.put(ckey, v)
 	return reached, nil
 }
+
+// syntacticVerdict decides r ⊑ᵘ P without a chase when the verdict is
+// forced by the syntax alone — the move sticky-Datalog± optimizers make by
+// classifying programs syntactically before running semantic tests. Two
+// shapes force a positive verdict:
+//
+//   - r's head occurs among its own body atoms: the frozen head is in the
+//     frozen body, and every program's output contains its input. The
+//     witnessing "derivation" uses no rules, so the provenance is empty
+//     (idx -1).
+//   - some rule s of P θ-subsumes r: the frozen body of r contains
+//     s.Body·θ frozen, so one application of s derives r's frozen head —
+//     exactly Corollary 2's test, decided in the affirmative by a
+//     single-step derivation whose provenance is {s}.
+//
+// A miss means nothing: uniform containment is semantic, so the caller
+// falls through to the chase. The returned provenance obeys the same
+// soundness contract as chased verdicts ("a superset of the rules used by
+// some witnessing derivation"), which is what lets Derive transfer these
+// verdicts across deltas.
+func (c *Checker) syntacticVerdict(r ast.Rule) (ruleIdx int, forced bool) {
+	if c.noSyntactic {
+		return 0, false
+	}
+	for _, a := range r.Body {
+		if a.Equal(r.Head) {
+			return -1, true
+		}
+	}
+	for i, s := range c.prog.Rules {
+		if ast.SubsumesRule(s, r) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// DisableSyntacticFastPath turns off the θ-subsumption short-circuit for
+// this session and every session it derives, forcing each fresh verdict
+// through the chase. It exists for ablation benchmarks and oracle tests;
+// verdicts already memoized (by any session over a canonically equal
+// program) are still reused.
+func (c *Checker) DisableSyntacticFastPath() { c.noSyntactic = true }
 
 // depGraph returns the dependence graph of the session program, built once.
 func (c *Checker) depGraph() *depgraph.Graph {
@@ -361,9 +416,10 @@ func (c *Checker) Derive(delta Delta) (*Checker, error) {
 		// The graph and reachability memo are shared down the lineage; the
 		// ancestor's edges over-approximate every descendant's, which is the
 		// sound direction for transfer (see the field comment).
-		graph: c.graph,
-		reach: c.reach,
-		cache: c.cache, // the lineage prepares through one cache
+		graph:       c.graph,
+		reach:       c.reach,
+		cache:       c.cache, // the lineage prepares through one cache
+		noSyntactic: c.noSyntactic,
 	}
 	nc.pv = defaultVerdicts.forProgram(nc.progCanon)
 	prep, hit, err := c.cache.GetOrBuildCanonical(nc.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
@@ -684,6 +740,15 @@ func ApplyTGDRound(tgds []ast.TGD, d *db.Database, nullGen *ast.ConstGen) int {
 func (c *Checker) SATContainsRule(tgds []ast.TGD, r ast.Rule, budget Budget) (Verdict, error) {
 	if r.HasNegation() {
 		return Unknown, fmt.Errorf("chase: rule %s uses negation", r)
+	}
+	// M(P) ⊆ M(r) already forces SAT(T) ∩ M(P) ⊆ M(r) whatever T is, so a
+	// syntactically forced uniform-containment verdict skips the [P, T]
+	// chase too. The Section XI search probes many candidate programs that
+	// differ from P in a single rule; every unchanged rule is subsumed by
+	// itself, leaving only the changed rule for the chase.
+	if _, forced := c.syntacticVerdict(r); forced {
+		c.stats.VerdictsSubsumed++
+		return Yes, nil
 	}
 	head, d := c.frozenFor(r)
 	_, verdict, err := c.chaseToGoal(tgds, d, &head, budget)

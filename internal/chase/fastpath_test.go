@@ -1,0 +1,229 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+// The θ-subsumption fast path may only ever force verdicts the chase would
+// also reach. This oracle compares syntacticVerdict directly against a
+// fresh goal-directed chase over random program/rule pairs, bypassing the
+// verdict memo entirely so the two deciders cannot contaminate each other.
+func TestSyntacticVerdictAgreesWithChase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	preds := []string{"Sp", "Sq", "Sr"}
+	vars := []string{"x", "y", "z", "w"}
+	randAtom := func() ast.Atom {
+		args := make([]ast.Term, 2)
+		for i := range args {
+			if rng.Intn(6) == 0 {
+				args[i] = ast.IntTerm(int64(rng.Intn(2)))
+			} else {
+				args[i] = ast.Var(vars[rng.Intn(len(vars))])
+			}
+		}
+		return ast.NewAtom(preds[rng.Intn(len(preds))], args...)
+	}
+	randRule := func() (ast.Rule, bool) {
+		r := ast.Rule{Head: randAtom()}
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			r.Body = append(r.Body, randAtom())
+		}
+		return r, r.Validate() == nil
+	}
+
+	forced, cases := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		p := ast.NewProgram()
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			if r, ok := randRule(); ok {
+				p.Rules = append(p.Rules, r)
+			}
+		}
+		r, ok := randRule()
+		if !ok || len(p.Rules) == 0 {
+			continue
+		}
+		c, err := NewChecker(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases++
+		idx, isForced := c.syntacticVerdict(r)
+		if !isForced {
+			continue
+		}
+		forced++
+		if idx >= len(p.Rules) {
+			t.Fatalf("trial %d: witness index %d out of range", trial, idx)
+		}
+		head, body := c.frozenFor(r)
+		var prov eval.RuleSet
+		_, reached, _, err := c.prep.EvalGoalProv(body, &head, 0, &prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reached {
+			t.Fatalf("trial %d: fast path forced %s ⊑ᵘ %v but the chase refutes it (witness rule %d)",
+				trial, r, p.Rules, idx)
+		}
+	}
+	if cases < 100 || forced < 10 {
+		t.Fatalf("oracle undersampled: %d cases, %d forced verdicts", cases, forced)
+	}
+}
+
+// Every rule is θ-subsumed by itself, so testing a program's own rules
+// against its session never chases — the shape the Section XI candidate
+// search hits on each unchanged rule of a probed program.
+func TestFastPathSelfContainment(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Fsp(x, z) :- Fse(x, z).
+		Fsp(x, z) :- Fse(x, y), Fsp(y, z).
+	`)
+	c, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Rules {
+		ok, err := c.ContainsRule(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("program does not contain its own rule %s", r)
+		}
+	}
+	if s := c.Stats(); s.VerdictsSubsumed != len(p.Rules) || s.VerdictsRecomputed != 0 {
+		t.Fatalf("stats = %+v, want %d subsumed and 0 recomputed", s, len(p.Rules))
+	}
+
+	// A two-step path rule is contained but not θ-subsumed by any single
+	// rule — it must reach the chase even with the fast path on.
+	twoStep := parser.MustParseProgram(`Fsp(x, z) :- Fse(x, y), Fse(y, z).`).Rules[0]
+	ok, err := c.ContainsRule(twoStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("chase refutes containment of %s", twoStep)
+	}
+	if s := c.Stats(); s.VerdictsRecomputed != 1 {
+		t.Fatalf("stats = %+v, want exactly one chased verdict", s)
+	}
+}
+
+// A rule whose head appears in its own body is a tautology: output contains
+// input, so it is contained in any program, with empty provenance — the
+// verdict must survive any rule deletion a Derive applies.
+func TestFastPathTautology(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Ftp(x, z) :- Fte(x, z).
+		Ftp(x, z) :- Fte(x, y), Ftp(y, z).
+	`)
+	c, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taut := parser.MustParseProgram(`Ftq(x, y) :- Ftq(x, y), Fte(x, x).`).Rules[0]
+	ok, err := c.ContainsRule(taut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tautology not contained")
+	}
+	if s := c.Stats(); s.VerdictsSubsumed != 1 {
+		t.Fatalf("stats = %+v, want one subsumed verdict", s)
+	}
+	// Delete rule 0: the tautology's verdict has empty provenance and must
+	// transfer to the derived session as a memo hit.
+	dc, err := c.Derive(Delta{RuleIndex: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dc.Stats().VerdictsReused
+	ok, err = dc.ContainsRule(taut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tautology lost under deletion")
+	}
+	if got := dc.Stats().VerdictsReused; got != before+1 {
+		t.Fatalf("verdict not transferred: reused %d -> %d", before, got)
+	}
+}
+
+// SATContainsRule shares the fast path: an unchanged program rule needs no
+// [P, T] chase regardless of the tgd set.
+func TestFastPathSATContainsRule(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Fxg(x, z) :- Fxa(x, z).
+		Fxg(x, z) :- Fxa(x, y), Fxg(y, z).
+	`)
+	tgd := ast.TGD{
+		Lhs: []ast.Atom{ast.NewAtom("Fxg", ast.Var("x"), ast.Var("z"))},
+		Rhs: []ast.Atom{ast.NewAtom("Fxa", ast.Var("x"), ast.Var("w"))},
+	}
+	c, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.SATContainsRule([]ast.TGD{tgd}, p.Rules[1], Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Yes {
+		t.Fatalf("verdict = %v, want yes", v)
+	}
+	if s := c.Stats(); s.VerdictsSubsumed != 1 {
+		t.Fatalf("stats = %+v, want one subsumed verdict", s)
+	}
+}
+
+// The provenance attached to a subsumption verdict must name the subsuming
+// rule, so deleting that rule invalidates the verdict (unless reachability
+// clears it) while deleting an unrelated rule keeps it.
+func TestFastPathProvenanceSurvivesUnrelatedDeletion(t *testing.T) {
+	p := parser.MustParseProgram(`
+		Fpg(x, z) :- Fpa(x, z).
+		Fph(x) :- Fpb(x).
+	`)
+	c, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsumed by rule 0 (a specialization of it).
+	spec := parser.MustParseProgram(`Fpg(x, x) :- Fpa(x, x), Fpb(x).`).Rules[0]
+	if ok, err := c.ContainsRule(spec); err != nil || !ok {
+		t.Fatalf("specialization not contained: %v %v", ok, err)
+	}
+	// Deleting the unrelated rule 1 keeps the verdict as a memo hit.
+	dc, err := c.Derive(Delta{RuleIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dc.Stats()
+	if ok, err := dc.ContainsRule(spec); err != nil || !ok {
+		t.Fatalf("verdict lost under unrelated deletion: %v %v", ok, err)
+	}
+	after := dc.Stats()
+	if after.VerdictsReused != before.VerdictsReused+1 {
+		t.Fatalf("expected memo hit after unrelated deletion: %+v -> %+v", before, after)
+	}
+}
+
+func ExampleChecker_DisableSyntacticFastPath() {
+	p := parser.MustParseProgram(`Feg(x, z) :- Fea(x, z).`)
+	c, _ := NewChecker(p)
+	c.DisableSyntacticFastPath()
+	ok, _ := c.ContainsRule(p.Rules[0])
+	fmt.Println(ok, c.Stats().VerdictsSubsumed)
+	// Output: true 0
+}

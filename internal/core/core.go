@@ -21,6 +21,8 @@
 //   - EquivOptimize — the Section XI optimization under plain equivalence.
 //   - MagicRewrite / MagicAnswer — the magic-sets evaluation method the
 //     optimizations compose with.
+//   - Analyze / AnalyzeProgram — the multi-pass static analyzer behind
+//     `datalog vet` (safety, stratifiability, redundancy, tgd sanity).
 //
 // A minimal session:
 //
@@ -35,6 +37,7 @@
 package core
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/chase"
 	"repro/internal/db"
@@ -109,6 +112,15 @@ type (
 	PreserveOptions = preserve.Options
 	// PlanCache is a content-addressed cache of prepared evaluation plans.
 	PlanCache = eval.PlanCache
+	// Diagnostic is one static-analysis finding: a stable code, a severity,
+	// a source position and a message (internal/analysis).
+	Diagnostic = analysis.Diagnostic
+	// DiagnosticRelatedPos points a diagnostic at a second source location.
+	DiagnosticRelatedPos = analysis.RelatedPos
+	// DiagnosticSeverity classifies a finding (Info / Warning / Error).
+	DiagnosticSeverity = analysis.Severity
+	// AnalysisPass is one static analysis over a shared fact context.
+	AnalysisPass = analysis.Pass
 )
 
 // Verdict values.
@@ -126,6 +138,25 @@ func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src
 
 // ParseTGD parses a single tuple-generating dependency.
 func ParseTGD(src string) (TGD, error) { return parser.ParseTGD(src) }
+
+// ParseLoose parses a source without validating the program or its tgds,
+// so ill-formed input reaches Analyze instead of being rejected.
+func ParseLoose(src string) (*ParseResult, error) { return parser.ParseLoose(src) }
+
+// Analyze runs the full static-analysis pass list (safety, stratifiability,
+// arity/type consistency, reachability, style and θ-subsumption checks —
+// internal/analysis) over a parsed source and returns positioned
+// diagnostics in source order. Pair it with ParseLoose so ill-formed
+// programs are diagnosed rather than rejected at parse time.
+func Analyze(res *ParseResult) []Diagnostic { return analysis.Analyze(res) }
+
+// AnalyzeProgram analyzes a programmatically built program (no facts or
+// tgds; diagnostics carry no positions).
+func AnalyzeProgram(p *Program) []Diagnostic { return analysis.AnalyzeProgram(p) }
+
+// AnalysisHasErrors reports whether any diagnostic has Error severity —
+// the condition under which `datalog vet` exits nonzero.
+func AnalysisHasErrors(ds []Diagnostic) bool { return analysis.HasErrors(ds) }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database { return db.New() }
@@ -255,21 +286,6 @@ func PreserveCheckPreliminary(p *Program, tgds []TGD, opts PreserveOptions) (Ver
 	return preserve.CheckPreliminary(p, tgds, opts)
 }
 
-// PreservesNonRecursively runs the Fig. 3 procedure (Section IX).
-//
-// Deprecated: use PreserveCheck with PreserveOptions{Budget: budget}.
-func PreservesNonRecursively(p *Program, tgds []TGD, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return PreserveCheck(p, tgds, PreserveOptions{Budget: budget})
-}
-
-// PreliminarySatisfies decides condition (3′) of Section X.
-//
-// Deprecated: use PreserveCheckPreliminary with PreserveOptions{Budget:
-// budget}.
-func PreliminarySatisfies(p *Program, tgds []TGD, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return PreserveCheckPreliminary(p, tgds, PreserveOptions{Budget: budget})
-}
-
 // EquivOptimize runs the Section XI optimization under plain equivalence.
 func EquivOptimize(p *Program, opts EquivOptions) (*Program, []EquivRemoval, error) {
 	return equivopt.Optimize(p, opts)
@@ -303,24 +319,6 @@ func MinimizeStratified(p *Program, opts MinimizeOptions) (*Program, MinimizeTra
 // machine-checkable derivation certificate on success.
 func UniformlyContainsRuleCertified(p *Program, r Rule) (bool, *chase.Certificate, *explain.Derivation, error) {
 	return chase.UniformlyContainsRuleCertified(p, r)
-}
-
-// PreliminarySatisfiesAtDepth is the generalized condition (3′) of
-// Section X's closing remark, with the preliminary DB taken at unfolding
-// depth k.
-//
-// Deprecated: use PreserveCheckPreliminary with PreserveOptions{Depth:
-// depth, Budget: budget}.
-func PreliminarySatisfiesAtDepth(p *Program, tgds []TGD, depth int, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return PreserveCheckPreliminary(p, tgds, PreserveOptions{Depth: depth, Budget: budget})
-}
-
-// PreservesNonRecursivelyAtDepth is the k-round generalization of Fig. 3.
-//
-// Deprecated: use PreserveCheck with PreserveOptions{Depth: depth, Budget:
-// budget}.
-func PreservesNonRecursivelyAtDepth(p *Program, tgds []TGD, depth int, budget Budget) (Verdict, *PreserveCounterexample, error) {
-	return PreserveCheck(p, tgds, PreserveOptions{Depth: depth, Budget: budget})
 }
 
 // UnfoldToDepth expresses k rounds of p as a non-recursive EDB-bodied

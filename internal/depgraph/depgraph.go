@@ -258,6 +258,85 @@ func IsLinear(p *ast.Program) bool {
 	return true
 }
 
+// NegativeCycle returns a cycle of predicates witnessing a stratification
+// failure: path[0] == path[len(path)-1], consecutive predicates are joined
+// by dependence edges (body → head), and the first edge is negative. It
+// returns ok=false when every negative edge leaves its strongly connected
+// component, i.e. the program is stratifiable. The witness is deterministic
+// (first-seen predicate order, shortest return path), so diagnostics built
+// from it are stable.
+func (g *Graph) NegativeCycle() (path []string, ok bool) {
+	scc := g.sccOf()
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if !e.negative || scc[g.preds[u]] != scc[g.preds[e.to]] {
+				continue
+			}
+			// u -!-> e.to, both in one component: close the cycle with a
+			// shortest path e.to →* u inside that component.
+			return append([]string{g.preds[u]}, g.pathWithin(e.to, u, scc)...), true
+		}
+	}
+	return nil, false
+}
+
+// Cycle returns a shortest cycle closed by the dependence edge from → to:
+// [from, to, ..., from]. ok is false when no such cycle exists, i.e. the
+// two predicates are unknown or lie in different strongly connected
+// components. The static analyzer uses it to attach a witness path to each
+// offending negated atom, not just the first.
+func (g *Graph) Cycle(from, to string) (path []string, ok bool) {
+	i, okF := g.index[from]
+	j, okT := g.index[to]
+	if !okF || !okT {
+		return nil, false
+	}
+	scc := g.sccOf()
+	if scc[from] != scc[to] {
+		return nil, false
+	}
+	return append([]string{from}, g.pathWithin(j, i, scc)...), true
+}
+
+// pathWithin returns the predicates of a shortest path from → ... → to using
+// only nodes of from's strongly connected component (from and to included).
+func (g *Graph) pathWithin(from, to int, scc map[string]int) []string {
+	comp := scc[g.preds[from]]
+	parent := make([]int, len(g.preds))
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[from] = from
+	queue := []int{from}
+	for len(queue) > 0 && parent[to] == -1 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if parent[e.to] == -1 && scc[g.preds[e.to]] == comp {
+				parent[e.to] = v
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if parent[to] == -1 {
+		// Unreachable within the component — cannot happen for nodes of one
+		// SCC, but degrade to the two endpoints rather than panic.
+		return []string{g.preds[from], g.preds[to]}
+	}
+	var rev []int
+	for v := to; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == from {
+			break
+		}
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, g.preds[rev[i]])
+	}
+	return out
+}
+
 // Strata partitions the program's predicates into strata for stratified
 // negation: predicates in the same SCC share a stratum, negative edges must
 // cross strictly upward, and positive edges never go downward. It returns

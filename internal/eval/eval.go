@@ -89,6 +89,10 @@ type Stats struct {
 	// fresh goal-directed chase.
 	VerdictsReused     int
 	VerdictsRecomputed int
+	// VerdictsSubsumed counts containment verdicts forced syntactically —
+	// the tested rule is θ-subsumed by a rule of the containing program (or
+	// is a tautology), so the chase was skipped entirely.
+	VerdictsSubsumed int
 }
 
 // AddCache accumulates o's cache counters into s.
@@ -97,6 +101,7 @@ func (s *Stats) AddCache(o Stats) {
 	s.PrepareMisses += o.PrepareMisses
 	s.VerdictsReused += o.VerdictsReused
 	s.VerdictsRecomputed += o.VerdictsRecomputed
+	s.VerdictsSubsumed += o.VerdictsSubsumed
 }
 
 // Eval computes P(input): the least DB containing input and closed under the

@@ -195,7 +195,7 @@ func E2UniformContainment() Table {
 // E3MinimizeRule measures Fig. 1 on rules with k injected redundant atoms.
 func E3MinimizeRule() Table {
 	t := Table{ID: "E3", Title: "rule minimization (Fig. 1) vs injected redundancy",
-		Columns: []string{"injected k", "body before", "body after", "atoms removed", "plan hit/miss", "verdicts memo/chase", "time"}}
+		Columns: []string{"injected k", "body before", "body after", "atoms removed", "plan hit/miss", "verdicts memo/syn/chase", "time"}}
 	base := workload.TransitiveClosure().Rules[1]
 	for _, k := range []int{0, 1, 2, 4, 8} {
 		rng := rand.New(rand.NewSource(int64(k) + 1))
@@ -211,7 +211,7 @@ func E3MinimizeRule() Table {
 		})
 		t.AddRow(k, len(r.Body), len(min.Body), trace.AtomsRemoved(),
 			fmt.Sprintf("%d/%d", trace.Stats.PrepareHits, trace.Stats.PrepareMisses),
-			fmt.Sprintf("%d/%d", trace.Stats.VerdictsReused, trace.Stats.VerdictsRecomputed),
+			fmt.Sprintf("%d/%d/%d", trace.Stats.VerdictsReused, trace.Stats.VerdictsSubsumed, trace.Stats.VerdictsRecomputed),
 			ms(d))
 	}
 	return t
@@ -221,7 +221,7 @@ func E3MinimizeRule() Table {
 // rules and atoms.
 func E4MinimizeProgram() Table {
 	t := Table{ID: "E4", Title: "program minimization (Fig. 2) vs injected redundant rules",
-		Columns: []string{"injected rules", "rules before/after", "atoms before/after", "removed (rules/atoms)", "plan hit/miss", "verdicts memo/chase", "time"}}
+		Columns: []string{"injected rules", "rules before/after", "atoms before/after", "removed (rules/atoms)", "plan hit/miss", "verdicts memo/syn/chase", "time"}}
 	for _, k := range []int{0, 2, 4, 8} {
 		rng := rand.New(rand.NewSource(int64(k) + 11))
 		p := workload.InjectRedundantRules(workload.TransitiveClosure(), k, rng)
@@ -239,7 +239,7 @@ func E4MinimizeProgram() Table {
 			fmt.Sprintf("%d/%d", p.BodyAtomCount(), min.BodyAtomCount()),
 			fmt.Sprintf("%d/%d", trace.RulesRemoved(), trace.AtomsRemoved()),
 			fmt.Sprintf("%d/%d", trace.Stats.PrepareHits, trace.Stats.PrepareMisses),
-			fmt.Sprintf("%d/%d", trace.Stats.VerdictsReused, trace.Stats.VerdictsRecomputed),
+			fmt.Sprintf("%d/%d/%d", trace.Stats.VerdictsReused, trace.Stats.VerdictsSubsumed, trace.Stats.VerdictsRecomputed),
 			ms(d))
 	}
 	return t

@@ -38,6 +38,11 @@ type Options struct {
 	// stratified extension uses it to reject deletions that would unbind a
 	// negated literal's variables.
 	Valid func(ast.Rule) bool
+	// DisableSyntacticFastPath forces every containment verdict through the
+	// chase instead of letting the session short-circuit candidates that a
+	// program rule θ-subsumes. Ablation hook: the minimized program must be
+	// byte-identical either way.
+	DisableSyntacticFastPath bool
 }
 
 // AtomRemoval records one Fig. 1/Fig. 2 atom deletion.
@@ -115,6 +120,9 @@ func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, *chase.Checker, 
 	ck, err := chase.NewChecker(q)
 	if err != nil {
 		return nil, nil, trace, err
+	}
+	if opts.DisableSyntacticFastPath {
+		ck.DisableSyntacticFastPath()
 	}
 	for i := range q.Rules {
 		if opts.Rand != nil {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"repro/internal/ast"
 )
 
 type tokenKind int
@@ -67,8 +69,7 @@ func (k tokenKind) String() string {
 type token struct {
 	kind tokenKind
 	text string
-	line int
-	col  int
+	pos  ast.Pos
 }
 
 type lexer struct {
@@ -82,8 +83,8 @@ func newLexer(src string) *lexer {
 	return &lexer{src: []rune(src), line: 1, col: 1}
 }
 
-func (l *lexer) errorf(line, col int, format string, args ...any) error {
-	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+func (l *lexer) errorf(pos ast.Pos, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", pos.Line, pos.Col, fmt.Sprintf(format, args...))
 }
 
 func (l *lexer) peek() rune {
@@ -135,66 +136,66 @@ func (l *lexer) skipSpaceAndComments() {
 // next returns the next token.
 func (l *lexer) next() (token, error) {
 	l.skipSpaceAndComments()
-	line, col := l.line, l.col
+	pos := ast.Pos{Line: l.line, Col: l.col}
 	if l.pos >= len(l.src) {
-		return token{kind: tokEOF, line: line, col: col}, nil
+		return token{kind: tokEOF, pos: pos}, nil
 	}
 	r := l.peek()
 	switch {
 	case r == '(':
 		l.advance()
-		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+		return token{kind: tokLParen, text: "(", pos: pos}, nil
 	case r == ')':
 		l.advance()
-		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+		return token{kind: tokRParen, text: ")", pos: pos}, nil
 	case r == ',':
 		l.advance()
-		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+		return token{kind: tokComma, text: ",", pos: pos}, nil
 	case r == '.':
 		l.advance()
-		return token{kind: tokPeriod, text: ".", line: line, col: col}, nil
+		return token{kind: tokPeriod, text: ".", pos: pos}, nil
 	case r == '!':
 		l.advance()
-		return token{kind: tokBang, text: "!", line: line, col: col}, nil
+		return token{kind: tokBang, text: "!", pos: pos}, nil
 	case r == ':':
 		l.advance()
 		if l.peek() != '-' {
-			return token{}, l.errorf(line, col, "expected ':-' but found ':%c'", l.peek())
+			return token{}, l.errorf(pos, "expected ':-' but found ':%c'", l.peek())
 		}
 		l.advance()
-		return token{kind: tokImplies, text: ":-", line: line, col: col}, nil
+		return token{kind: tokImplies, text: ":-", pos: pos}, nil
 	case r == '-':
 		l.advance()
 		if l.peek() == '>' {
 			l.advance()
-			return token{kind: tokArrow, text: "->", line: line, col: col}, nil
+			return token{kind: tokArrow, text: "->", pos: pos}, nil
 		}
 		// Negative integer literal.
 		if !unicode.IsDigit(l.peek()) {
-			return token{}, l.errorf(line, col, "expected '->' or digit after '-'")
+			return token{}, l.errorf(pos, "expected '->' or digit after '-'")
 		}
 		text := "-" + l.lexDigits()
-		return token{kind: tokInt, text: text, line: line, col: col}, nil
+		return token{kind: tokInt, text: text, pos: pos}, nil
 	case unicode.IsDigit(r):
-		return token{kind: tokInt, text: l.lexDigits(), line: line, col: col}, nil
+		return token{kind: tokInt, text: l.lexDigits(), pos: pos}, nil
 	case r == '"' || r == '\'':
 		quote := r
 		l.advance()
 		var sb strings.Builder
 		for {
 			if l.pos >= len(l.src) {
-				return token{}, l.errorf(line, col, "unterminated string literal")
+				return token{}, l.errorf(pos, "unterminated string literal")
 			}
 			c := l.advance()
 			if c == quote {
 				break
 			}
 			if c == '\n' {
-				return token{}, l.errorf(line, col, "newline in string literal")
+				return token{}, l.errorf(pos, "newline in string literal")
 			}
 			sb.WriteRune(c)
 		}
-		return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+		return token{kind: tokString, text: sb.String(), pos: pos}, nil
 	case unicode.IsLetter(r) || r == '_':
 		var sb strings.Builder
 		for l.pos < len(l.src) {
@@ -205,9 +206,9 @@ func (l *lexer) next() (token, error) {
 				break
 			}
 		}
-		return token{kind: tokIdent, text: sb.String(), line: line, col: col}, nil
+		return token{kind: tokIdent, text: sb.String(), pos: pos}, nil
 	default:
-		return token{}, l.errorf(line, col, "unexpected character %q", r)
+		return token{}, l.errorf(pos, "unexpected character %q", r)
 	}
 }
 

@@ -16,6 +16,9 @@ import (
 type Result struct {
 	Program *ast.Program
 	Facts   []ast.GroundAtom
+	// FactPos[i] is the source position of Facts[i]; GroundAtom stays a
+	// position-free value type because it is the evaluator's hot currency.
+	FactPos []ast.Pos
 	TGDs    []ast.TGD
 	Symbols *ast.SymbolTable
 }
@@ -37,6 +40,31 @@ func Parse(src string) (*Result, error) {
 // ParseWithSymbols is Parse but interning quoted constants into the supplied
 // table, so that several sources can share a constant space.
 func ParseWithSymbols(src string, syms *ast.SymbolTable) (*Result, error) {
+	res, err := parse(src, syms)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Program.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range res.TGDs {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ParseLoose is Parse without the final well-formedness validation: the
+// result may contain rules that are unsafe, not range-restricted, or
+// arity-inconsistent. It is the entry point of the static analyzer
+// (internal/analysis), which re-reports those violations as positioned
+// diagnostics instead of a single error; everything else should use Parse.
+func ParseLoose(src string) (*Result, error) {
+	return parse(src, ast.NewSymbolTable())
+}
+
+func parse(src string, syms *ast.SymbolTable) (*Result, error) {
 	p := &parser{lex: newLexer(src), syms: syms}
 	if err := p.advance(); err != nil {
 		return nil, err
@@ -44,14 +72,6 @@ func ParseWithSymbols(src string, syms *ast.SymbolTable) (*Result, error) {
 	res := &Result{Program: ast.NewProgram(), Symbols: syms}
 	for p.tok.kind != tokEOF {
 		if err := p.statement(res); err != nil {
-			return nil, err
-		}
-	}
-	if err := res.Program.Validate(); err != nil {
-		return nil, err
-	}
-	for _, t := range res.TGDs {
-		if err := t.Validate(); err != nil {
 			return nil, err
 		}
 	}
@@ -174,7 +194,7 @@ func (p *parser) unexpected(want string) error {
 	if p.tok.text != "" {
 		got = fmt.Sprintf("%s %q", got, p.tok.text)
 	}
-	return fmt.Errorf("%d:%d: expected %s, found %s", p.tok.line, p.tok.col, want, got)
+	return fmt.Errorf("%s: expected %s, found %s", p.tok.pos, want, got)
 }
 
 // statement parses one of: fact, rule, tgd.
@@ -190,16 +210,17 @@ func (p *parser) statement(res *Result) error {
 			return err
 		}
 		if !first.IsGround() {
-			return fmt.Errorf("fact %s has variables; a rule needs a body", first)
+			return fmt.Errorf("%s: fact %s has variables; a rule needs a body", first.Pos, first)
 		}
 		res.Facts = append(res.Facts, first.MustGround(nil))
+		res.FactPos = append(res.FactPos, first.Pos)
 		return nil
 
 	case tokImplies:
 		if err := p.advance(); err != nil {
 			return err
 		}
-		rule := ast.Rule{Head: first}
+		rule := ast.Rule{Head: first, Pos: first.Pos}
 		for {
 			neg := false
 			if p.tok.kind == tokBang {
@@ -280,7 +301,7 @@ func (p *parser) atom() (ast.Atom, error) {
 		return ast.Atom{}, err
 	}
 	if !isPredicateName(name.text) {
-		return ast.Atom{}, fmt.Errorf("%d:%d: predicate name %q must begin with an upper-case letter", name.line, name.col, name.text)
+		return ast.Atom{}, fmt.Errorf("%s: predicate name %q must begin with an upper-case letter", name.pos, name.text)
 	}
 	if _, err := p.expect(tokLParen); err != nil {
 		return ast.Atom{}, err
@@ -303,7 +324,7 @@ func (p *parser) atom() (ast.Atom, error) {
 	if _, err := p.expect(tokRParen); err != nil {
 		return ast.Atom{}, err
 	}
-	return ast.Atom{Pred: name.text, Args: args}, nil
+	return ast.Atom{Pred: name.text, Args: args, Pos: name.pos}, nil
 }
 
 func (p *parser) term() (ast.Term, error) {
@@ -311,7 +332,7 @@ func (p *parser) term() (ast.Term, error) {
 	case tokIdent:
 		text := p.tok.text
 		if isPredicateName(text) {
-			return ast.Term{}, fmt.Errorf("%d:%d: %q begins with an upper-case letter; variables are lower-case and constants are integers or quoted", p.tok.line, p.tok.col, text)
+			return ast.Term{}, fmt.Errorf("%s: %q begins with an upper-case letter; variables are lower-case and constants are integers or quoted", p.tok.pos, text)
 		}
 		if err := p.advance(); err != nil {
 			return ast.Term{}, err
@@ -326,7 +347,7 @@ func (p *parser) term() (ast.Term, error) {
 	case tokInt:
 		n, err := strconv.ParseInt(p.tok.text, 10, 64)
 		if err != nil {
-			return ast.Term{}, fmt.Errorf("%d:%d: bad integer %q: %v", p.tok.line, p.tok.col, p.tok.text, err)
+			return ast.Term{}, fmt.Errorf("%s: bad integer %q: %v", p.tok.pos, p.tok.text, err)
 		}
 		if err := p.advance(); err != nil {
 			return ast.Term{}, err

@@ -224,34 +224,6 @@ func (s *Session) CheckPreliminary(tgds []ast.TGD, opts Options) (chase.Verdict,
 	return chase.Yes, nil, nil
 }
 
-// NonRecursively decides depth-1 preservation.
-//
-// Deprecated: use Check with Options{Budget: budget}.
-func NonRecursively(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return Check(p, tgds, Options{Budget: budget})
-}
-
-// NonRecursively decides depth-1 preservation.
-//
-// Deprecated: use Session.Check with Options{Budget: budget}.
-func (s *Session) NonRecursively(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return s.Check(tgds, Options{Budget: budget})
-}
-
-// PreliminarySatisfies decides depth-1 condition (3′).
-//
-// Deprecated: use CheckPreliminary with Options{Budget: budget}.
-func PreliminarySatisfies(p *ast.Program, tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return CheckPreliminary(p, tgds, Options{Budget: budget})
-}
-
-// PreliminarySatisfies decides depth-1 condition (3′).
-//
-// Deprecated: use Session.CheckPreliminary with Options{Budget: budget}.
-func (s *Session) PreliminarySatisfies(tgds []ast.TGD, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return s.CheckPreliminary(tgds, Options{Budget: budget})
-}
-
 // prelimEntry returns (building on first use) the prepared depth-k
 // preliminary-DB variant: depth 1 is the initialization program Pⁱ, deeper
 // entries unfold p to derivation depth k (Section X's closing remark).
@@ -572,33 +544,4 @@ func normalize(b chase.Budget) chase.Budget {
 		b.MaxRounds = chase.DefaultBudget.MaxRounds
 	}
 	return b
-}
-
-// PreliminarySatisfiesAtDepth decides depth-k condition (3′).
-//
-// Deprecated: use CheckPreliminary with Options{Depth: depth, Budget: budget}.
-func PreliminarySatisfiesAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return CheckPreliminary(p, tgds, Options{Depth: depth, Budget: budget})
-}
-
-// PreliminarySatisfiesAtDepth decides depth-k condition (3′).
-//
-// Deprecated: use Session.CheckPreliminary with Options{Depth: depth,
-// Budget: budget}.
-func (s *Session) PreliminarySatisfiesAtDepth(tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return s.CheckPreliminary(tgds, Options{Depth: depth, Budget: budget})
-}
-
-// NonRecursivelyAtDepth decides depth-k preservation.
-//
-// Deprecated: use Check with Options{Depth: depth, Budget: budget}.
-func NonRecursivelyAtDepth(p *ast.Program, tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return Check(p, tgds, Options{Depth: depth, Budget: budget})
-}
-
-// NonRecursivelyAtDepth decides depth-k preservation.
-//
-// Deprecated: use Session.Check with Options{Depth: depth, Budget: budget}.
-func (s *Session) NonRecursivelyAtDepth(tgds []ast.TGD, depth int, budget chase.Budget) (chase.Verdict, *Counterexample, error) {
-	return s.Check(tgds, Options{Depth: depth, Budget: budget})
 }
