@@ -8,6 +8,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/ast"
@@ -450,7 +451,7 @@ func BenchmarkIncrementalVsReEval(b *testing.B) {
 // BenchmarkAblation_SCCOrder measures the SCC-ordered schedule against a
 // single global fixpoint on a layered program.
 func BenchmarkAblation_SCCOrder(b *testing.B) {
-	p := workload.Layered(8)
+	p := workload.Layered(12)
 	edb := workload.Chain("E", 40)
 	b.Run("scc-ordered", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -498,6 +499,76 @@ func BenchmarkAblation_ParallelEval(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := eval.Eval(p, edb, eval.Options{Workers: workers}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// layeredUnfolding returns the full unfolding of workload.Layered(n)'s top
+// predicate down to the EDB: Pn(x0, xn) :- E(x0, x1), ..., E(xn-1, xn).
+// Its frozen body is a pure-EDB chain, so goal-directed evaluation of the
+// layered program over it is the archetypal frozen-body containment query.
+func layeredUnfolding(n int) ast.Rule {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "P%d(x0, x%d) :- ", n, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "E(x%d, x%d)", i, i+1)
+	}
+	sb.WriteString(".")
+	return parser.MustParseProgram(sb.String()).Rules[0]
+}
+
+// BenchmarkAblation_StreamingEval measures the streaming operator pipeline
+// against the materializing kernel on its two target workloads: a wide
+// non-recursive join (one stratum, four body atoms) and a goal-directed
+// frozen-body containment query (many single-rule strata, emit-path early
+// stop). Both programs are non-recursive, so the planner streams them by
+// default; NoStream forces the delta-window materializing kernel.
+func BenchmarkAblation_StreamingEval(b *testing.B) {
+	join := parser.MustParseProgram(`
+		T(x, w) :- A(x, y), B(y, z), C(z, w), S(x).
+	`)
+	joinEDB := db.New()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 600; i++ {
+		joinEDB.Add(ast.GroundAtom{Pred: "A", Args: []ast.Const{ast.Int(int64(rng.Intn(50))), ast.Int(int64(rng.Intn(50)))}})
+		joinEDB.Add(ast.GroundAtom{Pred: "B", Args: []ast.Const{ast.Int(int64(rng.Intn(50))), ast.Int(int64(rng.Intn(50)))}})
+		joinEDB.Add(ast.GroundAtom{Pred: "C", Args: []ast.Const{ast.Int(int64(rng.Intn(50))), ast.Int(int64(rng.Intn(50)))}})
+	}
+	for i := int64(0); i < 10; i++ {
+		joinEDB.Add(ast.GroundAtom{Pred: "S", Args: []ast.Const{ast.Int(i)}})
+	}
+	layered := workload.Layered(12)
+	goal, frozen := chase.FreezeRule(layeredUnfolding(12))
+	for _, noStream := range []bool{false, true} {
+		name := "stream"
+		if noStream {
+			name = "materialize"
+		}
+		b.Run("wide-join/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eval.Eval(join, joinEDB, eval.Options{NoStream: noStream}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("containment-goal/"+name, func(b *testing.B) {
+			pr, err := eval.Prepare(layered, eval.Options{NoStream: noStream})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			// EvalGoalProv is what chase.Checker.ContainsRule issues per
+			// verdict: goal-directed, budget-free, provenance-recording.
+			for i := 0; i < b.N; i++ {
+				var prov eval.RuleSet
+				_, reached, _, err := pr.EvalGoalProv(frozen, &goal, 0, &prov)
+				if err != nil || !reached {
+					b.Fatal(reached, err)
 				}
 			}
 		})

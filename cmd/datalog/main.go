@@ -118,6 +118,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, outDB.Format(res.Symbols))
 		if *stats {
 			fmt.Fprintf(out, "%% rounds=%d firings=%d added=%d\n", st.Rounds, st.Firings, st.Added)
+			fmt.Fprintf(out, "%% strata streamed=%d materialized=%d, bindings pipelined=%d, early-stop cuts=%d\n",
+				st.StrataStreamed, st.StrataMaterialized, st.BindingsPipelined, st.EarlyStopCuts)
 		}
 		return nil
 
@@ -383,6 +385,8 @@ func run(args []string, out io.Writer) error {
 func printSessionStats(out io.Writer, st eval.Stats) {
 	fmt.Fprintf(out, "%% session: plan hits=%d misses=%d, verdicts reused=%d subsumed=%d recomputed=%d\n",
 		st.PrepareHits, st.PrepareMisses, st.VerdictsReused, st.VerdictsSubsumed, st.VerdictsRecomputed)
+	fmt.Fprintf(out, "%% session: strata streamed=%d materialized=%d, bindings pipelined=%d, early-stop cuts=%d\n",
+		st.StrataStreamed, st.StrataMaterialized, st.BindingsPipelined, st.EarlyStopCuts)
 	cs := eval.DefaultPlanCache.Stats()
 	fmt.Fprintf(out, "%% plan cache: hits=%d misses=%d evictions=%d entries=%d\n",
 		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)

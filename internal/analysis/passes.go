@@ -348,12 +348,18 @@ func runProduct(c *Context) []Diagnostic {
 // into this one's, so deleting this rule preserves uniform equivalence —
 // the same test internal/chase uses to skip containment chases). Each rule
 // is flagged at most once.
+//
+// The pairwise sweep runs per head-predicate bucket, not over all rule
+// pairs: a substitution maps a rule's head onto another's only when both
+// heads share a predicate and arity, and canonical equality implies the
+// same, so cross-bucket pairs can never match. Large programs — the shape
+// `datalog vet` meets in generated rule sets — are typically wide in
+// predicates and shallow per predicate, which turns the quadratic scan into
+// one proportional to the sum of squared bucket sizes.
 func runSubsumption(c *Context) []Diagnostic {
 	rules := c.Program.Rules
-	canon := make([]string, len(rules))
-	for i, r := range rules {
-		canon[i] = r.CanonicalString()
-	}
+	buckets := subsumptionBuckets(rules)
+	canon := make(map[int]string)
 	flagged := make(map[int]bool)
 	var out []Diagnostic
 	flag := (func(victim, by int, dup bool) {
@@ -375,19 +381,50 @@ func runSubsumption(c *Context) []Diagnostic {
 			Related: []RelatedPos{{Pos: c.rulePos(by), Message: "subsuming rule here"}},
 		})
 	})
-	for i := range rules {
-		for j := i + 1; j < len(rules); j++ {
-			switch {
-			case canon[i] == canon[j]:
-				flag(j, i, true)
-			case ast.SubsumesRule(rules[i], rules[j]):
-				flag(j, i, false)
-			case ast.SubsumesRule(rules[j], rules[i]):
-				flag(i, j, false)
+	for _, bucket := range buckets {
+		if len(bucket) < 2 {
+			continue // nothing can pair with a lone rule; skip canonicalizing it
+		}
+		for _, i := range bucket {
+			canon[i] = rules[i].CanonicalString()
+		}
+		for bi, i := range bucket {
+			for _, j := range bucket[bi+1:] {
+				switch {
+				case canon[i] == canon[j]:
+					flag(j, i, true)
+				case ast.SubsumesRule(rules[i], rules[j]):
+					flag(j, i, false)
+				case ast.SubsumesRule(rules[j], rules[i]):
+					flag(i, j, false)
+				}
 			}
 		}
 	}
 	return out
+}
+
+// subsumptionBuckets partitions rule indexes by head predicate and arity, in
+// first-occurrence order, each bucket keeping program order. It is the index
+// that makes runSubsumption near-linear on predicate-wide programs.
+func subsumptionBuckets(rules []ast.Rule) [][]int {
+	type headKey struct {
+		pred  string
+		arity int
+	}
+	at := make(map[headKey]int)
+	var buckets [][]int
+	for i, r := range rules {
+		k := headKey{r.Head.Pred, len(r.Head.Args)}
+		bi, ok := at[k]
+		if !ok {
+			bi = len(buckets)
+			at[k] = bi
+			buckets = append(buckets, nil)
+		}
+		buckets[bi] = append(buckets[bi], i)
+	}
+	return buckets
 }
 
 // runTGDCheck measures each tgd against Section XI's candidate properties

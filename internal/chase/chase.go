@@ -252,10 +252,11 @@ func (c *Checker) ContainsRule(r ast.Rule) (bool, error) {
 	}
 	head, body := c.frozenFor(r)
 	var prov eval.RuleSet
-	_, reached, _, err := c.prep.EvalGoalProv(body, &head, 0, &prov)
+	_, reached, est, err := c.prep.EvalGoalProv(body, &head, 0, &prov)
 	if err != nil {
 		return false, err
 	}
+	c.stats.AddStreaming(est)
 	c.stats.VerdictsRecomputed++
 	v := verdict{ok: reached, goal: head.Pred}
 	if reached {
@@ -631,7 +632,8 @@ func (c *Checker) chaseToGoal(tgds []ast.TGD, d *db.Database, goal *ast.GroundAt
 		if remaining <= 0 {
 			return Result{DB: cur, Complete: false, Rounds: round}, Unknown, nil
 		}
-		out, reached, _, err := c.prep.EvalGoal(cur, goal, remaining)
+		out, reached, est, err := c.prep.EvalGoal(cur, goal, remaining)
+		c.stats.AddStreaming(est)
 		if err != nil {
 			if isBudgetErr(err) {
 				return Result{DB: cur, Complete: false, Rounds: round}, Unknown, nil

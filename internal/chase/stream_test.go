@@ -1,0 +1,44 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+// TestStreamingSelectedForContainment guards the planner wiring the E2/E7
+// containment benchmarks depend on: a frozen-body containment query is
+// non-recursive once its EDB is frozen, so the checker's goal-directed
+// evaluations must ride the streaming operator pipeline, and the verdicts'
+// eval stats must surface through Checker.Stats. The tested rule is the
+// unfolding of P2 through P1 — uniformly contained in the layered program
+// but θ-subsumed by none of its rules, so the syntactic fast path cannot
+// decide it and a real chase must run. A silent planner regression (every
+// stratum falling back to the materializing kernel) fails here long before
+// it shows up as a benchmark delta.
+func TestStreamingSelectedForContainment(t *testing.T) {
+	p := workload.Layered(8)
+	ck, err := NewChecker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfolded := parser.MustParseProgram(`P2(x, z) :- E(x, y), E(y, z).`).Rules[0]
+	contained, err := ck.ContainsRule(unfolded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contained {
+		t.Fatal("unfolded P2 rule must be uniformly contained in the layered program")
+	}
+	st := ck.Stats()
+	if st.VerdictsRecomputed == 0 {
+		t.Fatalf("verdict was not decided by a chase; the guard is vacuous: %+v", st)
+	}
+	if st.StrataStreamed == 0 {
+		t.Fatalf("containment chase never selected the streaming path: %+v", st)
+	}
+	if st.BindingsPipelined == 0 {
+		t.Fatalf("containment chase pipelined no bindings: %+v", st)
+	}
+}

@@ -2,6 +2,7 @@ package db
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -82,6 +83,19 @@ func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.rounds) }
+
+// LenAt returns the length of the prefix of tuples whose round stamp is
+// ≤ maxRound. Round stamps are non-decreasing with insertion order, so this
+// prefix is exactly the set of tuples a round window [0, maxRound] can see;
+// the streaming executor's scans iterate [0, LenAt) with no per-tuple round
+// check.
+func (r *Relation) LenAt(maxRound int32) int {
+	n := len(r.rounds)
+	if n == 0 || r.rounds[n-1] <= maxRound {
+		return n
+	}
+	return sort.Search(n, func(i int) bool { return r.rounds[i] > maxRound })
+}
 
 // Tuple returns the i-th tuple as a view into the arena. The returned slice
 // is owned by the relation and must not be modified.
@@ -423,6 +437,53 @@ func (r *Relation) ProbeIter(cols []int, key []ast.Const, maxRound int32) TupleI
 	}
 	head := ix.findHead(r, key)
 	return TupleIter{next: ix.next, cur: head, limit: int32(ix.built)}
+}
+
+// Prober is a probe cursor bound once to one relation's column index: the
+// index pointer and the visible-tuple limit are resolved at bind time, so
+// each Seek is a pure hash probe with no atomic snapshot load, mask search,
+// or staleness check. It is the iterator-friendly probe API the streaming
+// executor binds per body atom per pass — one Prober, many Seeks — where
+// ProbeIter would repeat the index resolution on every probe. A Prober is a
+// value; binding and seeking allocate nothing.
+//
+// The bound snapshot stays sufficient for the same reason ProbeIter's does:
+// tuples inserted after the bind carry a round stamp greater than maxRound,
+// which the caller's window excludes, so the limit captured at bind time is
+// exactly the window's horizon.
+type Prober struct {
+	rel   *Relation
+	ix    *colIndex
+	limit int32
+}
+
+// Prober binds a probe cursor over the given column set. cols must be
+// sorted and duplicate-free; maxRound is the upper bound of the caller's
+// round window, with the same lazy-extension contract as ProbeIter.
+func (r *Relation) Prober(cols []int, maxRound int32) Prober {
+	mask := ColMask(cols)
+	var ix *colIndex
+	if set := r.indexes.Load(); set != nil {
+		ix = set.find(mask)
+	}
+	if ix == nil || (ix.built < len(r.rounds) && r.rounds[ix.built] <= maxRound) {
+		ix = r.ensureIndexLocked(mask, cols)
+	}
+	limit := ix.built
+	if n := r.LenAt(maxRound); n < limit {
+		// The index may cover tuples newer than the window (it always extends
+		// to the full relation); clamping here is what lets Seek's consumers
+		// skip per-tuple round checks entirely.
+		limit = n
+	}
+	return Prober{rel: r, ix: ix, limit: int32(limit)}
+}
+
+// Seek returns an iterator over the ids of tuples whose projection onto the
+// bound column set equals key, oldest first.
+func (p Prober) Seek(key []ast.Const) TupleIter {
+	head := p.ix.findHead(p.rel, key)
+	return TupleIter{next: p.ix.next, cur: head, limit: p.limit}
 }
 
 // MatchIDs returns the ids of tuples whose value at each position cols[i]

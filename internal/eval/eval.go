@@ -49,6 +49,11 @@ type Options struct {
 	// the generic binding-map matcher; used by ablation benchmarks and the
 	// cross-check property test.
 	NoCompile bool
+	// NoStream disables the streaming operator pipeline for non-recursive
+	// strata and forces the materializing kernel everywhere; used by ablation
+	// benchmarks and the streaming≡materializing property test. Implied by
+	// NoCompile (the pipeline lowers from the compiled form).
+	NoStream bool
 	// Workers > 1 evaluates each round's rule variants concurrently,
 	// collecting derivations into per-variant buffers and merging them
 	// after the round (semi-naive windows never read the current round, so
@@ -93,6 +98,18 @@ type Stats struct {
 	// the tested rule is θ-subsumed by a rule of the containing program (or
 	// is a tautology), so the chase was skipped entirely.
 	VerdictsSubsumed int
+	// StrataStreamed / StrataMaterialized count fixpoint units executed by
+	// the streaming operator pipeline versus the materializing join kernel —
+	// the planner's per-stratum decision, observable.
+	StrataStreamed     int
+	StrataMaterialized int
+	// BindingsPipelined counts tuples successfully bound through a streaming
+	// operator: the pipeline's total intermediate-result size, which the
+	// materializing kernel would have buffered.
+	BindingsPipelined int
+	// EarlyStopCuts counts streaming passes cut mid-pipeline by a goal hit
+	// or an exhausted derived-fact budget.
+	EarlyStopCuts int
 }
 
 // AddCache accumulates o's cache counters into s.
@@ -102,6 +119,16 @@ func (s *Stats) AddCache(o Stats) {
 	s.VerdictsReused += o.VerdictsReused
 	s.VerdictsRecomputed += o.VerdictsRecomputed
 	s.VerdictsSubsumed += o.VerdictsSubsumed
+}
+
+// AddStreaming accumulates o's streaming-executor counters into s. Session
+// layers that run many internal evaluations (the containment chases) use it
+// to surface how much of their work rode the pipeline.
+func (s *Stats) AddStreaming(o Stats) {
+	s.StrataStreamed += o.StrataStreamed
+	s.StrataMaterialized += o.StrataMaterialized
+	s.BindingsPipelined += o.BindingsPipelined
+	s.EarlyStopCuts += o.EarlyStopCuts
 }
 
 // Eval computes P(input): the least DB containing input and closed under the

@@ -43,10 +43,14 @@ type Prepared struct {
 	unitIdxs [][]int
 
 	// One-step application of the whole program in a fixed order, built on
-	// first use by NonRecursive / IsClosed.
-	nonrecOnce  sync.Once
-	nonrec      []*compiledRule
-	nonrecNeeds []indexNeed
+	// first use by NonRecursive / IsClosed. A one-step pass never feeds
+	// derivations back, so it is pipeline-shaped for every rule — recursive
+	// or not — and nonrecStreams carries the streaming plans alongside the
+	// materializing fallback.
+	nonrecOnce    sync.Once
+	nonrec        []*compiledRule
+	nonrecNeeds   []indexNeed
+	nonrecStreams []*streamPlan
 }
 
 // unit is one fixpoint of the evaluation schedule: a stratum (under
@@ -55,6 +59,11 @@ type Prepared struct {
 type unit struct {
 	rules   []ast.Rule
 	dynamic map[string]bool
+	// streamable marks a unit none of whose rules read the unit's own head
+	// predicates (positively or under negation): its fixpoint is one full
+	// application, so the planner may run it on the streaming operator
+	// pipeline instead of the materializing kernel.
+	streamable bool
 
 	mu     sync.Mutex
 	static *roundSetup            // NoReorder: the order never changes
@@ -70,6 +79,9 @@ type roundSetup struct {
 	ordered  []ast.Rule
 	compiled []*compiledRule
 	needs    []indexNeed
+	// streams holds the pipeline plans (same order as compiled) when the
+	// unit is streamable and the options permit streaming; nil otherwise.
+	streams []*streamPlan
 }
 
 // Prepare validates p and builds its evaluation schedule under opts. The
@@ -143,7 +155,21 @@ func newUnit(p *ast.Program, group []int) *unit {
 		rules[j] = p.Rules[ri]
 		dyn[p.Rules[ri].Head.Pred] = true
 	}
-	return &unit{rules: rules, dynamic: dyn}
+	u := &unit{rules: rules, dynamic: dyn}
+	u.streamable = true
+	for _, r := range rules {
+		for _, a := range r.Body {
+			if dyn[a.Pred] {
+				u.streamable = false
+			}
+		}
+		for _, a := range r.NegBody {
+			if dyn[a.Pred] {
+				u.streamable = false
+			}
+		}
+	}
+	return u
 }
 
 // idxKey packs a rule-index list into a map key.
@@ -318,6 +344,12 @@ func (pr *Prepared) ensureNonRec() {
 			pr.nonrec[i] = compileRule(or)
 		}
 		pr.nonrecNeeds = indexNeeds(ordered)
+		if !pr.opts.NoStream {
+			pr.nonrecStreams = make([]*streamPlan, len(pr.nonrec))
+			for i, cr := range pr.nonrec {
+				pr.nonrecStreams[i] = compileStream(cr)
+			}
+		}
 	})
 }
 
@@ -334,6 +366,18 @@ func (pr *Prepared) NonRecursive(d *db.Database) *db.Database {
 	}
 	out := db.New()
 	var st Stats
+	if pr.nonrecStreams != nil {
+		// A one-step pass never feeds derivations back, so every rule is
+		// pipeline-shaped here regardless of recursion in the program.
+		ss := getStreamState(pr.nonrecStreams)
+		defer putStreamState(ss)
+		sink := &nonrecSink{out: out}
+		top := d.Round()
+		for _, sp := range pr.nonrecStreams {
+			sp.run(d, top, ss, &st, sink)
+		}
+		return out
+	}
 	emit := func(pred string, args []ast.Const) bool { return out.AddTuple(pred, args) }
 	for _, cr := range pr.nonrec {
 		cr.fire(d, fullWindows(len(cr.body), d.Round()), &st, emit, nil)
@@ -353,8 +397,21 @@ func (pr *Prepared) IsClosed(d *db.Database) bool {
 	for _, n := range pr.nonrecNeeds {
 		d.EnsureIndex(n.pred, n.cols)
 	}
-	closed := true
 	var st Stats
+	if pr.nonrecStreams != nil {
+		ss := getStreamState(pr.nonrecStreams)
+		defer putStreamState(ss)
+		sink := &closedSink{d: d}
+		top := d.Round()
+		for _, sp := range pr.nonrecStreams {
+			sp.run(d, top, ss, &st, sink)
+			if sink.open {
+				return false
+			}
+		}
+		return true
+	}
+	closed := true
 	emit := func(pred string, args []ast.Const) bool {
 		if d.HasTuple(pred, args) {
 			return false
@@ -443,6 +500,12 @@ func (u *unit) build(perms [][]int, opts Options) *roundSetup {
 		}
 	}
 	rs.needs = indexNeeds(rs.ordered)
+	if u.streamable && !opts.NoCompile && !opts.NoStream {
+		rs.streams = make([]*streamPlan, len(rs.compiled))
+		for i, cr := range rs.compiled {
+			rs.streams[i] = compileStream(cr)
+		}
+	}
 	return rs
 }
 
@@ -452,20 +515,40 @@ func (u *unit) build(perms [][]int, opts Options) *roundSetup {
 // ruleIdxs, the owner Prepared's unit-local → program mapping) of every
 // rule that derived at least one new fact.
 func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom, prov *RuleSet, ruleIdxs []int) error {
-	var rs *roundSetup
-	// prepare picks the setup for the current relation sizes; the greedy
+	prevTop := d.Round() // facts present before this stratum: rounds ≤ prevTop
+	round := d.BeginRound()
+	stats.Rounds++
+	// setupFor picks the setup for the current relation sizes; the greedy
 	// join-order heuristic sees live cardinalities at every round boundary,
-	// but recompilation only happens for orders not seen before.
-	prepare := func() { rs = u.setupFor(d, opts) }
-	// freeze builds or extends every index the round's joins will probe.
+	// but recompilation only happens for orders not seen before. The loop
+	// after it builds or extends every index the round's joins will probe.
 	// Tuples inserted mid-round are stamped with the current round, which
 	// every window excludes, so the frozen indexes stay sufficient for the
 	// whole round and in-round probes never lock or mutate.
-	freeze := func() {
-		for _, n := range rs.needs {
-			d.EnsureIndex(n.pred, n.cols)
-		}
+	rs := u.setupFor(d, opts)
+	for _, n := range rs.needs {
+		d.EnsureIndex(n.pred, n.cols)
 	}
+
+	// First iteration: full application of every rule. For a streamable unit
+	// under semi-naive this one application IS the fixpoint (no rule reads
+	// the unit's own heads, so later delta rounds have no variants), and the
+	// planner runs it on the operator pipeline; recursive units and the
+	// naive strategy — whose Section III semantics re-fire whole rounds —
+	// keep the materializing kernel. Either way the emission sequence is
+	// identical, so the output database is byte-for-byte the same. The
+	// streamed path returns before the materializing kernel's round
+	// machinery below is even set up — a streamed stratum allocates nothing
+	// beyond the facts it derives.
+	if rs.streams != nil && opts.Strategy == SemiNaive {
+		stats.StrataStreamed++
+		if err := u.streamRound(d, rs, prevTop, opts, stats, baseLen, goal, prov, ruleIdxs); err != nil {
+			return err
+		}
+		return checkBudget(d, baseLen, opts)
+	}
+	stats.StrataMaterialized++
+
 	// fireInto evaluates one variant with derivations routed to emit; a
 	// non-nil stop aborts the variant's enumeration when it reports true.
 	fireInto := func(idx int, windows []db.RoundWindow, st *Stats, emit func(string, []ast.Const) bool, stop func() bool) error {
@@ -650,13 +733,8 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 		}
 	}
 
-	prevTop := d.Round() // facts present before this stratum: rounds ≤ prevTop
-	round := d.BeginRound()
-	stats.Rounds++
-	prepare()
-	freeze()
-
-	// First iteration: full application of every rule.
+	// First iteration: full application of every rule over everything
+	// present before the stratum.
 	var firstRound []variant
 	for idx := range rs.ordered {
 		firstRound = append(firstRound, variant{idx, fullWindows(len(rs.ordered[idx].Body), prevTop)})
@@ -675,8 +753,12 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 		prev := round
 		round = d.BeginRound()
 		stats.Rounds++
-		prepare() // re-pick the join order against this round's cardinalities
-		freeze()
+		// Re-pick the join order against this round's cardinalities and
+		// re-freeze the indexes the new setup probes.
+		rs = u.setupFor(d, opts)
+		for _, n := range rs.needs {
+			d.EnsureIndex(n.pred, n.cols)
+		}
 		var variants []variant
 		for idx := range rs.ordered {
 			r := rs.ordered[idx]
@@ -703,6 +785,37 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 			return err
 		}
 	}
+}
+
+// streamRound runs one full application of a streamable unit's rules on the
+// operator pipeline. It reproduces the sequential materializing round's emit
+// path verbatim — same insertion order, same goal test, same derived-fact
+// budget, same provenance credit — so swapping it in changes cost, never
+// observables. One streamState serves every plan in the pass; nothing else
+// is allocated per rule.
+func (u *unit) streamRound(d *db.Database, rs *roundSetup, prevTop int32, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom, prov *RuleSet, ruleIdxs []int) error {
+	st := getStreamState(rs.streams)
+	defer putStreamState(st)
+	sk := &st.fix
+	*sk = fixpointSink{d: d, goal: goal, prov: prov, remaining: -1}
+	if opts.MaxDerived > 0 {
+		sk.remaining = opts.MaxDerived - (d.Len() - baseLen)
+	}
+	for idx, sp := range rs.streams {
+		if prov != nil {
+			sk.ruleIdx = ruleIdxs[idx]
+		}
+		sp.run(d, prevTop, st, stats, sk)
+		if sk.goalHit {
+			stats.EarlyStopCuts++
+			return errGoal
+		}
+		if sk.stop {
+			stats.EarlyStopCuts++
+			return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
+		}
+	}
+	return nil
 }
 
 func constsEqual(a, b []ast.Const) bool {

@@ -1,0 +1,454 @@
+package eval
+
+import (
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+)
+
+// The streaming executor is the pipelined alternative to the materializing
+// join kernel: a compiled rule is lowered once more, from slot form into a
+// chain of relational operators (index-probe scan, dedup-table lookup,
+// natural-join probe, selection, projection/dedup-emit), and the chain is
+// driven as a pull-based iterator pipeline. Bindings flow through the join
+// one tuple at a time — no intermediate binding set is ever materialized —
+// and the emit path is shared with the materializing kernel, so the goal
+// early stop and the derived-fact budget cut the pipeline mid-stream.
+//
+// The lowering is purely static. Because a plan is compiled for one body
+// order, the set of columns bound at each position is known at compile time:
+// constants and variables bound by earlier atoms become the probe key of a
+// join operator, first occurrences of a variable become assignments into the
+// slot frame, and repeat occurrences within one atom become selection checks.
+// That staticness is what the executor's inner loop buys its speed with —
+// no per-candidate re-verification of already-keyed columns (the column
+// index exact-matches the key), no dynamic boundness tests, and no unbinding
+// on backtrack (a slot is only ever read by operators downstream of the one
+// that assigns it).
+//
+// Plan selection lives in unit.fixpoint: a unit whose rules never read the
+// unit's own head predicates (a non-recursive stratum) reaches fixpoint in
+// one full application, which is exactly the shape the pipeline executes;
+// recursive units keep the materializing kernel, whose delta windows are
+// what makes semi-naive rounds cheap. The frozen-body containment queries of
+// Section VI are non-recursive by construction once their EDB is frozen, so
+// every chase verdict rides this path.
+
+// opKind classifies how a stream operator enumerates its candidate tuples.
+type opKind uint8
+
+const (
+	// opScan has no bound columns: it walks the round-visible prefix of the
+	// relation, ids ascending.
+	opScan opKind = iota
+	// opLookup has every column bound: a single dedup-table probe.
+	opLookup
+	// opProbe has some columns bound: it seeks the column index chain for
+	// the key built from constants and earlier-bound slots.
+	opProbe
+)
+
+// argAct is one selection/binding action on a candidate tuple's column:
+// assign the column value into a slot (first occurrence of a variable), or
+// check it against an already-assigned slot (repeat occurrence within the
+// same atom). Columns covered by the probe key need no action — the index
+// exact-matches them.
+type argAct struct {
+	col   int
+	slot  int
+	check bool
+}
+
+// streamOp is one compiled pipeline stage: the atom's relation, how to
+// enumerate matching tuples (kind + key recipe), and the actions to apply
+// per candidate.
+type streamOp struct {
+	kind  opKind
+	pred  string
+	arity int
+	// cols lists the bound columns, ascending; keySrc[j] ≥ 0 names the slot
+	// whose value keys column cols[j], keySrc[j] < 0 selects keyConst[j].
+	cols     []int
+	keySrc   []int
+	keyConst []ast.Const
+	acts     []argAct
+}
+
+// streamPlan is one rule lowered to a pipeline: the operator chain in body
+// order, plus the negated literals and head shared with the slot-compiled
+// form.
+type streamPlan struct {
+	nVars int
+	ops   []streamOp
+	neg   []compiledAtom
+	head  compiledAtom
+}
+
+// compileStream lowers a slot-compiled rule into a pipeline plan. The body
+// order is the compiled rule's order, so the plan probes exactly the indexes
+// indexNeeds declared for that order.
+func compileStream(cr *compiledRule) *streamPlan {
+	sp := &streamPlan{nVars: cr.nVars, neg: cr.neg, head: cr.head}
+	bound := make([]bool, cr.nVars)
+	for _, a := range cr.body {
+		op := streamOp{pred: a.pred, arity: len(a.args)}
+		for i, s := range a.args {
+			switch {
+			case s < 0:
+				op.cols = append(op.cols, i)
+				op.keySrc = append(op.keySrc, -1)
+				op.keyConst = append(op.keyConst, a.consts[i])
+			case bound[s]:
+				op.cols = append(op.cols, i)
+				op.keySrc = append(op.keySrc, s)
+				op.keyConst = append(op.keyConst, 0)
+			default:
+				// First occurrence in this atom assigns; repeats check.
+				check := false
+				for _, act := range op.acts {
+					if act.slot == s {
+						check = true
+						break
+					}
+				}
+				op.acts = append(op.acts, argAct{col: i, slot: s, check: check})
+			}
+		}
+		switch len(op.cols) {
+		case 0:
+			op.kind = opScan
+		case op.arity:
+			op.kind = opLookup
+		default:
+			op.kind = opProbe
+		}
+		for _, act := range op.acts {
+			if !act.check {
+				bound[act.slot] = true
+			}
+		}
+		sp.ops = append(sp.ops, op)
+	}
+	return sp
+}
+
+// streamState is the reusable executor state, allocated once per streaming
+// pass and shared by every plan in it — the pipeline's entire working set.
+// Per-position cursors live here so the backtracking loop is allocation-free.
+type streamState struct {
+	vals    []ast.Const
+	rels    []*db.Relation
+	probers []db.Prober
+	iters   []db.TupleIter
+	ids     []int
+	limits  []int
+	key     []ast.Const
+	out     []ast.Const
+	fix     fixpointSink
+}
+
+// streamSink receives the pipeline's head emissions. emit reports whether
+// the fact was new; halted is polled after each new fact and aborts the
+// pipeline when true. A struct implementation keeps the emit path free of
+// per-pass closure allocations: the fixpoint's sink lives inside the pooled
+// streamState, so a streamed stratum allocates nothing for its emit state.
+type streamSink interface {
+	emit(pred string, args []ast.Const) bool
+	halted() bool
+}
+
+// fixpointSink is the materializing round's emit path in struct form: add
+// to the database, test the goal, count down the derived-fact budget, and
+// credit provenance. It reproduces unit.fixpoint's runRound emit closure
+// bit for bit — same dedup, same goal equality, same budget trip — which
+// keeps the streamed and materializing executions byte-identical.
+type fixpointSink struct {
+	d         *db.Database
+	goal      *ast.GroundAtom
+	prov      *RuleSet
+	ruleIdx   int // program index of the rule currently running, for prov
+	remaining int // derived-fact budget countdown; -1 = unlimited
+	stop      bool
+	goalHit   bool
+}
+
+func (s *fixpointSink) emit(pred string, args []ast.Const) bool {
+	if !s.d.AddTuple(pred, args) {
+		return false
+	}
+	if s.goal != nil && pred == s.goal.Pred && constsEqual(args, s.goal.Args) {
+		s.goalHit = true
+		s.stop = true
+	}
+	if s.remaining >= 0 {
+		s.remaining--
+		if s.remaining < 0 {
+			s.stop = true
+		}
+	}
+	if s.prov != nil {
+		s.prov.Add(s.ruleIdx)
+	}
+	return true
+}
+
+func (s *fixpointSink) halted() bool { return s.stop }
+
+// nonrecSink materializes a one-step pass into a separate output database
+// (the Section IX Pⁿ operator): derivations never feed back into d.
+type nonrecSink struct {
+	out *db.Database
+}
+
+func (s *nonrecSink) emit(pred string, args []ast.Const) bool {
+	return s.out.AddTuple(pred, args)
+}
+
+func (s *nonrecSink) halted() bool { return false }
+
+// closedSink decides IsClosed: the first derivation not already in d is a
+// counterexample and halts every remaining pipeline.
+type closedSink struct {
+	d    *db.Database
+	open bool
+}
+
+func (s *closedSink) emit(pred string, args []ast.Const) bool {
+	if s.d.HasTuple(pred, args) {
+		return false
+	}
+	s.open = true
+	return true // count as "new" so halted aborts immediately
+}
+
+func (s *closedSink) halted() bool { return s.open }
+
+var streamStatePool = sync.Pool{New: func() any { return new(streamState) }}
+
+// getStreamState returns a pooled state grown to fit every plan in the
+// batch; putStreamState recycles it. States carry no values across uses:
+// boundness is static, so every slot, cursor, and key cell is written
+// before anything reads it, and a pass binds its relations and probers up
+// front. Pooling makes a streamed pass allocation-free in the steady state,
+// which is where the streaming path's bytes-per-op advantage over the
+// materializing kernel comes from.
+func getStreamState(plans []*streamPlan) *streamState {
+	st := streamStatePool.Get().(*streamState)
+	st.ensure(plans)
+	return st
+}
+
+// putStreamState drops the state's relation pointers (so a pooled state
+// does not pin a dead database in memory) and returns it to the pool.
+func putStreamState(st *streamState) {
+	for i := range st.rels {
+		st.rels[i] = nil
+	}
+	st.fix = fixpointSink{}
+	streamStatePool.Put(st)
+}
+
+// ensure grows the state to the largest plan in the batch. Oversized
+// slices are harmless: the pipeline addresses them by operator position and
+// reslices keys to the operator's own width.
+func (st *streamState) ensure(plans []*streamPlan) {
+	var nVars, nOps, arity int
+	for _, sp := range plans {
+		if sp == nil {
+			continue
+		}
+		if sp.nVars > nVars {
+			nVars = sp.nVars
+		}
+		if len(sp.ops) > nOps {
+			nOps = len(sp.ops)
+		}
+		if len(sp.head.args) > arity {
+			arity = len(sp.head.args)
+		}
+		for i := range sp.ops {
+			if sp.ops[i].arity > arity {
+				arity = sp.ops[i].arity
+			}
+		}
+		for i := range sp.neg {
+			if len(sp.neg[i].args) > arity {
+				arity = len(sp.neg[i].args)
+			}
+		}
+	}
+	if len(st.vals) < nVars {
+		st.vals = make([]ast.Const, nVars)
+	}
+	if len(st.rels) < nOps {
+		st.rels = make([]*db.Relation, nOps)
+		st.probers = make([]db.Prober, nOps)
+		st.iters = make([]db.TupleIter, nOps)
+		st.ids = make([]int, nOps)
+		st.limits = make([]int, nOps)
+	}
+	if len(st.key) < arity {
+		st.key = make([]ast.Const, arity)
+		st.out = make([]ast.Const, arity)
+	}
+}
+
+// buildKey grounds the operator's probe key into dst from constants and the
+// slot frame.
+func (op *streamOp) buildKey(dst []ast.Const, vals []ast.Const) []ast.Const {
+	key := dst[:len(op.keySrc)]
+	for j, s := range op.keySrc {
+		if s < 0 {
+			key[j] = op.keyConst[j]
+		} else {
+			key[j] = vals[s]
+		}
+	}
+	return key
+}
+
+// run drives the pipeline against d over the round window [0, prevTop],
+// emitting each head instantiation exactly as compiledRule.fire would for
+// the same body order: identical enumeration order, identical Firings/Added
+// accounting, identical stop-hook polling. The equivalence is load-bearing —
+// the planner swaps this in for the materializing kernel and the output
+// database must stay byte-identical.
+func (sp *streamPlan) run(d *db.Database, prevTop int32, st *streamState, stats *Stats, sink streamSink) {
+	nOps := len(sp.ops)
+	for i := range sp.ops {
+		op := &sp.ops[i]
+		rel := d.Relation(op.pred)
+		if rel == nil || rel.Arity() != op.arity {
+			return // this body atom can never match
+		}
+		st.rels[i] = rel
+		switch op.kind {
+		case opScan:
+			st.limits[i] = rel.LenAt(prevTop)
+		case opProbe:
+			st.probers[i] = rel.Prober(op.cols, prevTop)
+		}
+	}
+	if nOps == 0 {
+		sp.fireRow(d, st, stats, sink)
+		return
+	}
+	sp.open(0, st)
+	pos := 0
+	for {
+		if !sp.advance(pos, st, stats, prevTop) {
+			pos--
+			if pos < 0 {
+				return
+			}
+			continue
+		}
+		if pos == nOps-1 {
+			if !sp.fireRow(d, st, stats, sink) {
+				return
+			}
+			continue
+		}
+		pos++
+		sp.open(pos, st)
+	}
+}
+
+// open resets position pos's cursor for the bindings currently in the frame.
+func (sp *streamPlan) open(pos int, st *streamState) {
+	op := &sp.ops[pos]
+	switch op.kind {
+	case opScan, opLookup:
+		st.ids[pos] = 0
+	case opProbe:
+		st.iters[pos] = st.probers[pos].Seek(op.buildKey(st.key, st.vals))
+	}
+}
+
+// advance pulls the next candidate at pos that passes the operator's
+// selection actions, binding its free columns into the frame. Slots are
+// never unbound: boundness is static, so a stale value is simply
+// overwritten by the next candidate before anything downstream reads it.
+func (sp *streamPlan) advance(pos int, st *streamState, stats *Stats, prevTop int32) bool {
+	op := &sp.ops[pos]
+	rel := st.rels[pos]
+	for {
+		var id int
+		switch op.kind {
+		case opScan:
+			if st.ids[pos] >= st.limits[pos] {
+				return false
+			}
+			id = st.ids[pos]
+			st.ids[pos]++
+		case opLookup:
+			if st.ids[pos] != 0 {
+				return false // the single probe was consumed
+			}
+			st.ids[pos] = 1
+			tid, ok := rel.LookupID(op.buildKey(st.key, st.vals))
+			if !ok || rel.RoundOf(int(tid)) > prevTop {
+				return false
+			}
+			id = int(tid)
+		case opProbe:
+			tid, ok := st.iters[pos].Next()
+			if !ok {
+				return false
+			}
+			id = int(tid)
+		}
+		tuple := rel.Tuple(id)
+		ok := true
+		for _, act := range op.acts {
+			if !act.check {
+				st.vals[act.slot] = tuple[act.col]
+			} else if st.vals[act.slot] != tuple[act.col] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			stats.BindingsPipelined++
+			return true
+		}
+	}
+}
+
+// fireRow completes one full body instantiation: negated literals are
+// absence-checked against the (complete, lower-stratum) database, the head
+// is grounded from the frame, and the fact is emitted. Returns false when
+// the stop hook aborts the pipeline.
+func (sp *streamPlan) fireRow(d *db.Database, st *streamState, stats *Stats, sink streamSink) bool {
+	for i := range sp.neg {
+		n := &sp.neg[i]
+		args := st.out[:len(n.args)]
+		for j, s := range n.args {
+			if s < 0 {
+				args[j] = n.consts[j]
+			} else {
+				args[j] = st.vals[s]
+			}
+		}
+		if d.HasTuple(n.pred, args) {
+			return true
+		}
+	}
+	stats.Firings++
+	args := st.out[:len(sp.head.args)]
+	for j, s := range sp.head.args {
+		if s < 0 {
+			args[j] = sp.head.consts[j]
+		} else {
+			args[j] = st.vals[s]
+		}
+	}
+	if sink.emit(sp.head.pred, args) {
+		stats.Added++
+		if sink.halted() {
+			return false
+		}
+	}
+	return true
+}

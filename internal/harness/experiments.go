@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/ast"
@@ -167,17 +168,23 @@ func E1WorkedExamples() Table {
 }
 
 // E2UniformContainment measures the cost of the Section VI decision
-// procedure as program size grows (layered programs, self-containment =
-// one frozen-body evaluation per rule).
+// procedure as program size grows: layered self-containment (one verdict per
+// rule, decided syntactically by the θ-subsumption fast path) plus the fully
+// unfolded top layer Pn(x,z) :- E,…,E — uniformly contained but subsumed by
+// no single rule, so it forces a real frozen-body chase whose goal-directed
+// evaluation rides the streaming pipeline. The streamed/materialized column
+// is the planner's per-stratum decision tally across the session.
 func E2UniformContainment() Table {
 	t := Table{ID: "E2", Title: "uniform-containment decision cost vs program size (Section VI)",
-		Columns: []string{"layers", "rules", "body atoms", "decision", "time"}}
+		Columns: []string{"layers", "rules", "body atoms", "decision", "strata strm/mat", "time"}}
 	for _, n := range []int{2, 4, 8, 16, 24} {
 		p := workload.Layered(n)
+		unfolded := unfoldedLayer(n)
 		var ok bool
+		var st eval.Stats
 		d := timed(func() {
 			// Explicit session: the containing program is prepared once
-			// and every rule of p is tested against it.
+			// and every rule is tested against it.
 			ck, err := chase.NewChecker(p)
 			if err != nil {
 				panic(err)
@@ -186,16 +193,39 @@ func E2UniformContainment() Table {
 			if err != nil {
 				panic(err)
 			}
+			chased, err := ck.ContainsRule(unfolded)
+			if err != nil {
+				panic(err)
+			}
+			ok = ok && chased
+			st = ck.Stats()
 		})
-		t.AddRow(n, len(p.Rules), p.BodyAtomCount(), fmt.Sprint(ok), ms(d))
+		t.AddRow(n, len(p.Rules), p.BodyAtomCount(), fmt.Sprint(ok),
+			fmt.Sprintf("%d/%d", st.StrataStreamed, st.StrataMaterialized), ms(d))
 	}
 	return t
+}
+
+// unfoldedLayer builds Pn(x, z) :- E(x, y1), …, E(yn-1, z): the n-layer rule
+// unfolded down to the EDB. It is uniformly contained in workload.Layered(n)
+// but θ-subsumed by none of its rules.
+func unfoldedLayer(n int) ast.Rule {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "P%d(x0, x%d) :- ", n, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "E(x%d, x%d)", i, i+1)
+	}
+	sb.WriteString(".")
+	return parser.MustParseProgram(sb.String()).Rules[0]
 }
 
 // E3MinimizeRule measures Fig. 1 on rules with k injected redundant atoms.
 func E3MinimizeRule() Table {
 	t := Table{ID: "E3", Title: "rule minimization (Fig. 1) vs injected redundancy",
-		Columns: []string{"injected k", "body before", "body after", "atoms removed", "plan hit/miss", "verdicts memo/syn/chase", "time"}}
+		Columns: []string{"injected k", "body before", "body after", "atoms removed", "plan hit/miss", "verdicts memo/syn/chase", "strata strm/mat", "time"}}
 	base := workload.TransitiveClosure().Rules[1]
 	for _, k := range []int{0, 1, 2, 4, 8} {
 		rng := rand.New(rand.NewSource(int64(k) + 1))
@@ -212,6 +242,7 @@ func E3MinimizeRule() Table {
 		t.AddRow(k, len(r.Body), len(min.Body), trace.AtomsRemoved(),
 			fmt.Sprintf("%d/%d", trace.Stats.PrepareHits, trace.Stats.PrepareMisses),
 			fmt.Sprintf("%d/%d/%d", trace.Stats.VerdictsReused, trace.Stats.VerdictsSubsumed, trace.Stats.VerdictsRecomputed),
+			fmt.Sprintf("%d/%d", trace.Stats.StrataStreamed, trace.Stats.StrataMaterialized),
 			ms(d))
 	}
 	return t
