@@ -1,10 +1,10 @@
 GO ?= go
 
 # Benchmarks tracked in BENCH_eval.json: the eval/chase hot-path families.
-BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE4|BenchmarkE5|BenchmarkE6|BenchmarkE7|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkAblation_StreamingEval|BenchmarkAblation_PreserveDerive|BenchmarkIncrementalVsReEval
+BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE4|BenchmarkE5|BenchmarkE6|BenchmarkE7|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkAblation_StreamingEval|BenchmarkAblation_PreserveDerive|BenchmarkIncrementalVsReEval|BenchmarkServiceWarmVsCold
 BENCHTIME ?= 0.3s
 
-.PHONY: all build vet datalog-vet test race bench bench-all experiments examples clean
+.PHONY: all build vet datalog-vet test race race-service serve-smoke bench bench-all experiments examples clean
 
 all: build vet test
 
@@ -26,6 +26,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-service race-checks the multi-tenant service stack: the session
+# facade, the HTTP layer and the copy-on-freeze snapshots they evaluate.
+race-service:
+	$(GO) test -race ./internal/core ./internal/service ./internal/db
+
+# serve-smoke boots `datalog serve` on an ephemeral port with a preloaded
+# program and drives a register/facts/eval/statz round-trip over HTTP.
+serve-smoke:
+	$(GO) test ./cmd/datalog -run 'TestServeCommand' -count=1 -v
 
 # bench runs the eval/chase benchmark families and records ns/op, B/op and
 # allocs/op per benchmark in BENCH_eval.json so the perf trajectory is

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/chase"
+	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/equivopt"
@@ -725,6 +727,51 @@ func BenchmarkAblation_PreserveDerive(b *testing.B) {
 				b.Fatal(err)
 			}
 			probe(b, ns)
+		}
+	})
+}
+
+// BenchmarkServiceWarmVsCold measures what the session layer buys a long-
+// running server: "warm" reuses one core.Session whose plan was prepared
+// once, "cold" rebuilds a session with an isolated plan cache on every
+// request — the per-request cost an unsessioned server would pay. The
+// program is prepare-heavy (a wide layered rule set) over a small EDB, the
+// shape where session reuse matters most.
+func BenchmarkServiceWarmVsCold(b *testing.B) {
+	var src strings.Builder
+	src.WriteString("T0(x, y) :- E(x, y).\n")
+	for i := 1; i <= 24; i++ {
+		fmt.Fprintf(&src, "T%d(x, z) :- T%d(x, y), T%d(y, z).\n", i, i-1, i-1)
+		fmt.Fprintf(&src, "S%d(x, y) :- T%d(x, y), E(y, y).\n", i, i)
+	}
+	prog, err := core.ParseProgram(src.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := workload.Chain("E", 8)
+	ctx := context.Background()
+
+	b.Run("warm", func(b *testing.B) {
+		sess, err := core.NewSession(prog, core.SessionOptions{PlanCache: core.NewPlanCache(4)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sess.Eval(ctx, edb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess, err := core.NewSession(prog, core.SessionOptions{PlanCache: core.NewPlanCache(4)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sess.Eval(ctx, edb); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,6 +1,7 @@
 // Command datalog is the command-line front end of the library: it parses,
 // evaluates, minimizes, compares, and magic-rewrites Datalog programs in
-// the concrete syntax of internal/parser.
+// the concrete syntax of internal/parser, and can run as a long-lived
+// multi-tenant query server.
 //
 // Usage:
 //
@@ -21,6 +22,7 @@
 //	datalog tquery    <file> <atom>    answer via the tabled top-down engine
 //	datalog optimize  <file> <atom>    full pipeline: prune+minimize+equivopt+magic
 //	datalog vet       <file...>        static analysis; exit 1 on error findings
+//	datalog serve     [name=file ...]  HTTP/JSON query server (see -addr)
 //
 // A file argument of "-" reads standard input. Flags:
 //
@@ -28,6 +30,13 @@
 //	-stats   print evaluation statistics
 //	-v       print cache/session statistics (compare, minimize)
 //	-json    machine-readable vet output
+//	-addr    listen address for serve (default 127.0.0.1:8371)
+//
+// The command implementations live in sibling files by family: cmd_show.go
+// (parse/fmt/graph/magic/explain), cmd_eval.go (eval/query/tquery/check),
+// cmd_opt.go (minimize/equivopt/contains/preserve/optimize), compare.go,
+// vet.go, repl.go and serve.go. They all hang off the cli struct below,
+// which carries the parsed global flags and the output writer.
 package main
 
 import (
@@ -37,16 +46,9 @@ import (
 	"os"
 
 	"repro/internal/ast"
-	"repro/internal/chase"
-	"repro/internal/constraint"
 	"repro/internal/core"
-	"repro/internal/db"
-	"repro/internal/dot"
 	"repro/internal/eval"
-	"repro/internal/explain"
-	"repro/internal/magic"
 	"repro/internal/parser"
-	"repro/internal/topdown"
 )
 
 func main() {
@@ -56,188 +58,55 @@ func main() {
 	}
 }
 
+// cli carries the global flags and output sink shared by every subcommand.
+type cli struct {
+	out     io.Writer
+	opts    eval.Options
+	stats   bool
+	verbose bool
+	jsonOut bool
+	addr    string
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("datalog", flag.ContinueOnError)
 	naive := fs.Bool("naive", false, "use the naive fixpoint strategy")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
 	verbose := fs.Bool("v", false, "print cache/session statistics")
 	jsonOut := fs.Bool("json", false, "machine-readable vet output")
+	addr := fs.String("addr", "127.0.0.1:8371", "listen address for serve")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: datalog <parse|eval|query|tquery|optimize|minimize|equivopt|contains|compare|check|preserve|magic|explain|graph|fmt|vet|repl> ...")
+		return fmt.Errorf("usage: datalog <parse|eval|query|tquery|optimize|minimize|equivopt|contains|compare|check|preserve|magic|explain|graph|fmt|vet|repl|serve> ...")
 	}
 	cmd, rest := rest[0], rest[1:]
 
-	opts := eval.Options{}
+	c := &cli{out: out, stats: *stats, verbose: *verbose, jsonOut: *jsonOut, addr: *addr}
 	if *naive {
-		opts.Strategy = eval.Naive
+		c.opts.Strategy = eval.Naive
 	}
 
 	switch cmd {
-	case "fmt":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, res.Program.Format(res.Symbols))
-		for _, f := range res.Facts {
-			fmt.Fprintf(out, "%s.\n", f.Format(res.Symbols))
-		}
-		for _, t := range res.TGDs {
-			fmt.Fprintf(out, "%s\n", t.Format(res.Symbols))
-		}
-		return nil
-
-	case "parse":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, res.Program.Format(res.Symbols))
-		for _, f := range res.Facts {
-			fmt.Fprintf(out, "%s.\n", f.Format(res.Symbols))
-		}
-		for _, t := range res.TGDs {
-			fmt.Fprintf(out, "%s\n", t.Format(res.Symbols))
-		}
-		return nil
-
+	case "fmt", "parse":
+		return c.cmdFmt(rest)
 	case "eval":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		outDB, st, err := eval.Eval(res.Program, db.FromFacts(res.Facts), opts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, outDB.Format(res.Symbols))
-		if *stats {
-			fmt.Fprintf(out, "%% rounds=%d firings=%d added=%d\n", st.Rounds, st.Firings, st.Added)
-			fmt.Fprintf(out, "%% strata streamed=%d materialized=%d, bindings pipelined=%d, early-stop cuts=%d\n",
-				st.StrataStreamed, st.StrataMaterialized, st.BindingsPipelined, st.EarlyStopCuts)
-		}
-		return nil
-
+		return c.cmdEval(rest)
 	case "query":
-		res, err := load(rest, 1)
-		if err != nil {
-			return err
-		}
-		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
-		if err != nil {
-			return fmt.Errorf("query atom: %w", err)
-		}
-		tuples, err := eval.Query(res.Program, db.FromFacts(res.Facts), q, opts)
-		if err != nil {
-			return err
-		}
-		for _, t := range tuples {
-			fmt.Fprintln(out, ast.GroundAtom{Pred: q.Pred, Args: t}.Format(res.Symbols))
-		}
-		return nil
-
-	case "minimize":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		min, trace, err := core.MinimizeProgram(res.Program, core.MinimizeOptions{})
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, min.Format(res.Symbols))
-		fmt.Fprintf(out, "%% removed %d atoms, %d rules\n", trace.AtomsRemoved(), trace.RulesRemoved())
-		for _, ar := range trace.AtomRemovals {
-			fmt.Fprintf(out, "%%   atom %s from %s\n", ar.Atom.Format(res.Symbols), ar.Rule.Format(res.Symbols))
-		}
-		for _, r := range trace.RuleRemovals {
-			fmt.Fprintf(out, "%%   rule %s\n", r.Format(res.Symbols))
-		}
-		if *verbose {
-			printSessionStats(out, trace.Stats)
-		}
-		return nil
-
-	case "equivopt":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		opt, removals, err := core.EquivOptimize(res.Program, core.EquivOptions{})
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, opt.Format(res.Symbols))
-		fmt.Fprintf(out, "%% %d removals under plain equivalence\n", len(removals))
-		for _, r := range removals {
-			fmt.Fprintf(out, "%%   removed %s via tgd %s\n", ast.FormatAtoms(r.Atoms, res.Symbols), r.TGD.Format(res.Symbols))
-		}
-		return nil
-
-	case "contains":
-		if len(rest) < 2 {
-			return fmt.Errorf("usage: datalog contains <file1> <file2>")
-		}
-		p1, err := loadProgram(rest[0])
-		if err != nil {
-			return err
-		}
-		p2, err := loadProgram(rest[1])
-		if err != nil {
-			return err
-		}
-		// One containment session per side: each Checker prepares its
-		// program once and reuses it for every frozen-rule test.
-		ck1, err := chase.NewChecker(p1)
-		if err != nil {
-			return err
-		}
-		ok12, _, err := ck1.Contains(p2)
-		if err != nil {
-			return err
-		}
-		ck2, err := chase.NewChecker(p2)
-		if err != nil {
-			return err
-		}
-		ok21, _, err := ck2.Contains(p1)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "P2 ⊑ᵘ P1: %v\nP1 ⊑ᵘ P2: %v\nP1 ≡ᵘ P2: %v\n", ok12, ok21, ok12 && ok21)
-		return nil
-
+		return c.cmdQuery(rest)
+	case "tquery":
+		return c.cmdTQuery(rest)
 	case "check":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		if len(res.TGDs) == 0 {
-			return fmt.Errorf("check: the file declares no tgds")
-		}
-		prep, err := eval.PrepareCached(res.Program, opts)
-		if err != nil {
-			return err
-		}
-		outDB, _, err := prep.Eval(db.FromFacts(res.Facts))
-		if err != nil {
-			return err
-		}
-		violations := constraint.Violations(outDB, res.TGDs, 20)
-		if len(violations) == 0 {
-			fmt.Fprintln(out, "all constraints satisfied")
-			return nil
-		}
-		for _, v := range violations {
-			fmt.Fprintf(out, "VIOLATION: %s\n", v)
-		}
-		return fmt.Errorf("check: %d constraint violation(s)", len(violations))
-
+		return c.cmdCheck(rest)
+	case "minimize":
+		return c.cmdMinimize(rest)
+	case "equivopt":
+		return c.cmdEquivOpt(rest)
+	case "contains":
+		return c.cmdContains(rest)
 	case "compare":
 		if len(rest) < 2 {
 			return fmt.Errorf("usage: datalog compare <file1> <file2>")
@@ -250,138 +119,30 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compareReport(out, p1, p2, *verbose)
-
+		return compareReport(c.out, p1, p2, c.verbose)
 	case "preserve":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		if len(res.TGDs) == 0 {
-			return fmt.Errorf("preserve: the file declares no tgds")
-		}
-		v, cex, err := core.PreserveCheck(res.Program, res.TGDs, core.PreserveOptions{})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "preserves T non-recursively: %v\n", v)
-		if cex != nil {
-			fmt.Fprintf(out, "counterexample: %v\n", cex)
-		}
-		v, cex, err = core.PreserveCheckPreliminary(res.Program, res.TGDs, core.PreserveOptions{})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "preliminary DB satisfies T: %v\n", v)
-		if cex != nil {
-			fmt.Fprintf(out, "counterexample: %v\n", cex)
-		}
-		return nil
-
-	case "explain":
-		res, err := load(rest, 1)
-		if err != nil {
-			return err
-		}
-		goalAtom, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
-		if err != nil {
-			return fmt.Errorf("goal fact: %w", err)
-		}
-		if !goalAtom.IsGround() {
-			return fmt.Errorf("explain: goal %s must be a ground fact", goalAtom)
-		}
-		prover, err := explain.NewProver(res.Program, db.FromFacts(res.Facts))
-		if err != nil {
-			return err
-		}
-		deriv, ok := prover.Explain(goalAtom.MustGround(nil))
-		if !ok {
-			return fmt.Errorf("explain: %s is not in the program's output", goalAtom)
-		}
-		fmt.Fprint(out, deriv.Format(res.Program, res.Symbols))
-		return nil
-
-	case "repl":
-		return repl(os.Stdin, out)
-
-	case "tquery":
-		res, err := load(rest, 1)
-		if err != nil {
-			return err
-		}
-		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
-		if err != nil {
-			return fmt.Errorf("query atom: %w", err)
-		}
-		eng, err := topdown.New(res.Program, db.FromFacts(res.Facts))
-		if err != nil {
-			return err
-		}
-		tuples, tstats, err := eng.Query(q)
-		if err != nil {
-			return err
-		}
-		for _, t := range tuples {
-			fmt.Fprintln(out, ast.GroundAtom{Pred: q.Pred, Args: t}.Format(res.Symbols))
-		}
-		if *stats {
-			fmt.Fprintf(out, "%% subgoals=%d answers=%d passes=%d\n", tstats.Subgoals, tstats.Answers, tstats.Passes)
-		}
-		return nil
-
+		return c.cmdPreserve(rest)
 	case "optimize":
-		res, err := load(rest, 1)
-		if err != nil {
-			return err
-		}
-		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
-		if err != nil {
-			return fmt.Errorf("query atom: %w", err)
-		}
-		pres, err := core.OptimizeForQuery(res.Program, q, core.DefaultPipeline())
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, pres.Program.Format(res.Symbols))
-		fmt.Fprintf(out, "%% removed %d rules, %d atoms; seed %s; query %s\n",
-			pres.RulesRemoved, pres.AtomsRemoved,
-			pres.Rewritten.Seed.Format(res.Symbols), pres.Rewritten.Query.Format(res.Symbols))
-		return nil
-
-	case "vet":
-		return vet(rest, *jsonOut, out)
-
+		return c.cmdOptimize(rest)
+	case "explain":
+		return c.cmdExplain(rest)
 	case "graph":
-		res, err := load(rest, 0)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, dot.DependenceGraph(res.Program))
-		return nil
-
+		return c.cmdGraph(rest)
 	case "magic":
-		res, err := load(rest, 1)
-		if err != nil {
-			return err
-		}
-		q, err := parser.ParseAtomWithSymbols(rest[1], res.Symbols)
-		if err != nil {
-			return fmt.Errorf("query atom: %w", err)
-		}
-		rw, err := core.MagicRewrite(res.Program, q)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, magic.FormatAdornment(rw))
-		return nil
-
+		return c.cmdMagic(rest)
+	case "vet":
+		return vet(rest, c.jsonOut, c.out)
+	case "repl":
+		return repl(os.Stdin, c.out)
+	case "serve":
+		return c.cmdServe(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
 // printSessionStats renders a containment session's cache counters plus the
-// process-wide plan cache state.
+// process-wide plan cache and verdict store state.
 func printSessionStats(out io.Writer, st eval.Stats) {
 	fmt.Fprintf(out, "%% session: plan hits=%d misses=%d, verdicts reused=%d subsumed=%d recomputed=%d\n",
 		st.PrepareHits, st.PrepareMisses, st.VerdictsReused, st.VerdictsSubsumed, st.VerdictsRecomputed)
@@ -390,6 +151,9 @@ func printSessionStats(out io.Writer, st eval.Stats) {
 	cs := eval.DefaultPlanCache.Stats()
 	fmt.Fprintf(out, "%% plan cache: hits=%d misses=%d evictions=%d entries=%d\n",
 		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
+	vs := core.VerdictStats()
+	fmt.Fprintf(out, "%% verdict store: programs=%d verdicts=%d lookups=%d hits=%d rotations=%d\n",
+		vs.Programs, vs.Verdicts, vs.Lookups, vs.Hits, vs.Rotations)
 }
 
 // load reads and parses the file named by rest[0] ("-" = stdin) and checks

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// cmdServe runs the long-lived multi-tenant query server: named, versioned
+// programs behind HTTP/JSON endpoints (register, facts, eval, minimize,
+// compare, vet, explain, statz), all sharing the process-wide plan cache
+// and verdict store. Positional arguments of the form name=file preload
+// program versions before the listener opens, so a deployment can ship its
+// programs on the command line and tenants only push facts and queries.
+func (c *cli) cmdServe(rest []string) error {
+	srv := service.New()
+	for _, arg := range rest {
+		name, file, ok := strings.Cut(arg, "=")
+		if !ok || name == "" || file == "" {
+			return fmt.Errorf("serve: argument %q is not name=file", arg)
+		}
+		src, err := read(file)
+		if err != nil {
+			return err
+		}
+		version, rules, tgds, err := srv.RegisterProgram(name, src)
+		if err != nil {
+			return fmt.Errorf("serve: register %s: %w", name, err)
+		}
+		fmt.Fprintf(c.out, "registered %s v%d (%d rules, %d tgds)\n", name, version, rules, tgds)
+	}
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "datalog serve: listening on http://%s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}

@@ -14,6 +14,7 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -136,6 +137,12 @@ type Checker struct {
 	// noSyntactic disables the θ-subsumption fast path (an ablation hook for
 	// oracle tests and benchmarks); inherited by derived sessions.
 	noSyntactic bool
+	// ctx, when non-nil, cancels the session's chases: every internal
+	// evaluation threads it to the emit path and every chase round checks
+	// it, so a deadline cuts a diverging chase promptly. Set by SetContext,
+	// inherited by derived sessions. Cancellation never poisons shared
+	// state: verdicts and plans are only published for completed work.
+	ctx context.Context
 }
 
 // verdict is one memoized ContainsRule answer plus what Derive needs to
@@ -207,6 +214,13 @@ func NewCheckerCache(p *ast.Program, cache *eval.PlanCache) (*Checker, error) {
 // mutate it.
 func (c *Checker) Program() *ast.Program { return c.prog }
 
+// SetContext installs a cancellation context for every subsequent chase of
+// this session (nil removes it). The context governs calls, not memoized
+// state: a canceled test returns an error wrapping eval.ErrCanceled and
+// records nothing, so the session — and the shared verdict store — stay
+// valid for later calls under a fresh context.
+func (c *Checker) SetContext(ctx context.Context) { c.ctx = ctx }
+
 // Stats reports the session's cache behavior: plan-cache hits/misses
 // observed by NewChecker/Derive and verdicts carried across Derive versus
 // decided by a fresh chase. Derived Checkers share their parent's
@@ -233,6 +247,9 @@ func (c *Checker) frozenFor(r ast.Rule) (ast.GroundAtom, *db.Database) {
 // evaluation records rule provenance so a later Derive can tell which
 // verdicts a deletion might invalidate.
 func (c *Checker) ContainsRule(r ast.Rule) (bool, error) {
+	if err := eval.CtxErr(c.ctx); err != nil {
+		return false, err
+	}
 	if r.HasNegation() {
 		return false, fmt.Errorf("chase: uniform containment is defined for pure Datalog; program or rule uses negation")
 	}
@@ -252,7 +269,7 @@ func (c *Checker) ContainsRule(r ast.Rule) (bool, error) {
 	}
 	head, body := c.frozenFor(r)
 	var prov eval.RuleSet
-	_, reached, est, err := c.prep.EvalGoalProv(body, &head, 0, &prov)
+	_, reached, est, err := c.prep.EvalGoalProvCtx(c.ctx, body, &head, 0, &prov)
 	if err != nil {
 		return false, err
 	}
@@ -421,6 +438,7 @@ func (c *Checker) Derive(delta Delta) (*Checker, error) {
 		reach:       c.reach,
 		cache:       c.cache, // the lineage prepares through one cache
 		noSyntactic: c.noSyntactic,
+		ctx:         c.ctx,
 	}
 	nc.pv = defaultVerdicts.forProgram(nc.progCanon)
 	prep, hit, err := c.cache.GetOrBuildCanonical(nc.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
@@ -627,12 +645,18 @@ func (c *Checker) chaseToGoal(tgds []ast.TGD, d *db.Database, goal *ast.GroundAt
 	nullGen := ast.NewNullGen(maxNull + 1)
 
 	for round := 0; round < budget.MaxRounds; round++ {
+		// Chase-round cancellation check, mirroring the evaluator's own
+		// round-boundary discipline (the tgd phase below has no emit path of
+		// its own, so the boundary check also covers it).
+		if err := eval.CtxErr(c.ctx); err != nil {
+			return Result{}, Unknown, err
+		}
 		// Datalog saturation phase, cut short if the goal shows up.
 		remaining := budget.MaxAtoms - cur.Len()
 		if remaining <= 0 {
 			return Result{DB: cur, Complete: false, Rounds: round}, Unknown, nil
 		}
-		out, reached, est, err := c.prep.EvalGoal(cur, goal, remaining)
+		out, reached, est, err := c.prep.EvalGoalCtx(c.ctx, cur, goal, remaining)
 		c.stats.AddStreaming(est)
 		if err != nil {
 			if isBudgetErr(err) {

@@ -1,6 +1,9 @@
 package chase
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The verdict store is a content-addressed memo of uniform-containment
 // verdicts: program canonical form → (rule canonical form → verdict). The
@@ -27,6 +30,14 @@ type verdictStore struct {
 	max  int
 	cur  map[string]*progVerdicts
 	prev map[string]*progVerdicts
+
+	// Counters are atomics, not mu-guarded: lookups happen on every
+	// ContainsRule of every concurrent session, and a stats snapshot must
+	// not contend with them. rotations counts generation turnovers (mutated
+	// under mu anyway, atomic for a consistent read path).
+	lookups   atomic.Uint64
+	hits      atomic.Uint64
+	rotations atomic.Uint64
 }
 
 // progVerdicts is the verdict table of one program content address. It is
@@ -34,8 +45,9 @@ type verdictStore struct {
 // its own lock (Checkers are single-threaded, but distinct sessions may
 // run concurrently).
 type progVerdicts struct {
-	mu sync.Mutex
-	m  map[string]verdict
+	store *verdictStore // owning store, for race-clean hit accounting
+	mu    sync.Mutex
+	m     map[string]verdict
 }
 
 // defaultVerdictStoreSize bounds each generation of program tables; two
@@ -56,7 +68,7 @@ func (vs *verdictStore) forProgram(progCanon string) *progVerdicts {
 		vs.insertLocked(progCanon, pv) // promote so reuse keeps it alive
 		return pv
 	}
-	pv := &progVerdicts{m: make(map[string]verdict)}
+	pv := &progVerdicts{store: vs, m: make(map[string]verdict)}
 	vs.insertLocked(progCanon, pv)
 	return pv
 }
@@ -65,14 +77,69 @@ func (vs *verdictStore) insertLocked(progCanon string, pv *progVerdicts) {
 	if len(vs.cur) >= vs.max {
 		vs.prev = vs.cur
 		vs.cur = make(map[string]*progVerdicts, vs.max)
+		vs.rotations.Add(1)
 	}
 	vs.cur[progCanon] = pv
 }
 
+// StoreStats is a point-in-time snapshot of the process-wide verdict
+// store: how many program tables and memoized verdicts are live across the
+// two generations, and the lookup/hit counters accumulated by every
+// session since process start.
+type StoreStats struct {
+	// Programs is the number of live program tables (both generations,
+	// deduplicated — a promoted table appears in both).
+	Programs int
+	// Verdicts is the total number of memoized rule verdicts across those
+	// tables.
+	Verdicts int
+	// Lookups / Hits count per-rule memo probes; a hit answered a
+	// containment test without any chase.
+	Lookups, Hits uint64
+	// Rotations counts generational turnovers of the outer store.
+	Rotations uint64
+}
+
+// VerdictStoreStats snapshots the process-wide verdict store. It is safe to
+// call concurrently with any number of running sessions.
+func VerdictStoreStats() StoreStats {
+	return defaultVerdicts.stats()
+}
+
+func (vs *verdictStore) stats() StoreStats {
+	st := StoreStats{
+		Lookups:   vs.lookups.Load(),
+		Hits:      vs.hits.Load(),
+		Rotations: vs.rotations.Load(),
+	}
+	vs.mu.Lock()
+	seen := make(map[*progVerdicts]bool, len(vs.cur)+len(vs.prev))
+	for _, pv := range vs.cur {
+		seen[pv] = true
+	}
+	for _, pv := range vs.prev {
+		seen[pv] = true
+	}
+	vs.mu.Unlock()
+	st.Programs = len(seen)
+	for pv := range seen {
+		pv.mu.Lock()
+		st.Verdicts += len(pv.m)
+		pv.mu.Unlock()
+	}
+	return st
+}
+
 func (pv *progVerdicts) get(ruleCanon string) (verdict, bool) {
 	pv.mu.Lock()
-	defer pv.mu.Unlock()
 	v, ok := pv.m[ruleCanon]
+	pv.mu.Unlock()
+	if pv.store != nil {
+		pv.store.lookups.Add(1)
+		if ok {
+			pv.store.hits.Add(1)
+		}
+	}
 	return v, ok
 }
 

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/minimize"
+	"repro/internal/preserve"
+)
+
+// This file is the session-oriented service layer of the facade: long-lived
+// handles over program versions, built for servers that answer many requests
+// against the same programs. A Service is a content-addressed registry of
+// Sessions; a Session bundles the three per-program caches the library
+// maintains — the prepared evaluation plan, the uniform-containment checker
+// and the preservation session — behind one concurrency contract:
+//
+//   - Eval / EvalGoal are safe for any number of concurrent callers (the
+//     Prepared plan is immutable);
+//   - Minimize / ContainsRule / Contains / Preserve / PreservePreliminary
+//     serialize on the session mutex (checkers and preservation sessions
+//     are single-threaded state machines);
+//   - Compare takes the two sessions' mutexes strictly sequentially (one
+//     direction at a time, never nested), so any set of sessions can be
+//     cross-compared from any number of goroutines without lock-order
+//     deadlocks.
+//
+// Every method takes a context observed at round/combination boundaries; a
+// cancelled request returns an error wrapping eval.ErrCanceled and never
+// publishes partial verdicts into the shared plan/verdict stores.
+
+// Snapshot is a frozen, immutable version of a database: readers may probe
+// and index it lock-free, writers stage successors via Thaw (copy-on-write).
+type Snapshot = db.Snapshot
+
+// VerdictStoreStats is a point-in-time snapshot of the process-wide verdict
+// store's size and hit counters.
+type VerdictStoreStats = chase.StoreStats
+
+// VerdictStats snapshots the process-wide verdict store. Safe to call
+// concurrently with running sessions.
+func VerdictStats() VerdictStoreStats { return chase.VerdictStoreStats() }
+
+// ErrCanceled is the sentinel wrapped by every cancellation error the
+// service layer returns; errors.Is(err, ErrCanceled) also implies
+// errors.Is against the context's own cause (context.DeadlineExceeded or
+// context.Canceled).
+var ErrCanceled = eval.ErrCanceled
+
+// ErrBudget is the sentinel returned when an evaluation exhausts its
+// MaxDerived budget.
+var ErrBudget = eval.ErrBudget
+
+// Service is a registry of Sessions keyed by program content address:
+// opening a program canonically equal to one already open returns the same
+// Session, so every tenant querying the same program version shares one
+// prepared plan, one containment session and one preservation session.
+// A Service is safe for concurrent use.
+type Service struct {
+	cache *PlanCache // nil = process-wide
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewService returns an empty session registry. Sessions it opens prepare
+// through the injected plan cache (SessionOptions), or the process-wide one.
+func NewService(sess ...SessionOptions) *Service {
+	return &Service{cache: sessionCache(sess), sessions: make(map[string]*Session)}
+}
+
+// Open returns the Session for p, creating it on first use. Programs are
+// identified by canonical form, so alpha-renamed or rule-reordered copies
+// share a session.
+func (sv *Service) Open(p *Program) (*Session, error) {
+	key := p.CanonicalString()
+	sv.mu.Lock()
+	if s, ok := sv.sessions[key]; ok {
+		sv.mu.Unlock()
+		return s, nil
+	}
+	sv.mu.Unlock()
+	// Prepare outside the registry lock: preparation can be expensive and
+	// other programs' lookups must not wait on it. A racing Open of the
+	// same program at worst prepares twice; the plan cache dedups the plan
+	// and the registry keeps the first session inserted.
+	s, err := NewSession(p, SessionOptions{PlanCache: sv.cache})
+	if err != nil {
+		return nil, err
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if prior, ok := sv.sessions[key]; ok {
+		return prior, nil
+	}
+	sv.sessions[key] = s
+	return s, nil
+}
+
+// Len reports the number of open sessions.
+func (sv *Service) Len() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return len(sv.sessions)
+}
+
+// Session is a long-lived handle over one program version: the prepared
+// evaluation plan plus lazily built containment and preservation sessions.
+// See the file comment for the concurrency contract.
+type Session struct {
+	prog  *Program
+	cache *PlanCache
+	prep  *Prepared
+
+	mu sync.Mutex // serializes the single-threaded checker/preserve state
+	ck *ContainmentChecker
+	// ckLast is the checker's cumulative counters at the last accounting,
+	// so each request folds only its own delta into the totals. Guarded by
+	// s.mu like the checker itself.
+	ckLast EvalStats
+	ps     *PreserveSession
+
+	statsMu sync.Mutex
+	total   EvalStats
+	evals   uint64
+}
+
+// NewSession prepares p and returns a standalone session handle (servers
+// normally go through Service.Open, which dedups by content address).
+func NewSession(p *Program, sess ...SessionOptions) (*Session, error) {
+	cache := sessionCache(sess)
+	prep, err := PrepareEval(p, EvalOptions{}, SessionOptions{PlanCache: cache})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{prog: prep.Program(), cache: cache, prep: prep}, nil
+}
+
+// Program returns the session's program (the prepared copy; callers must
+// not mutate it).
+func (s *Session) Program() *Program { return s.prog }
+
+// Prepared returns the session's prepared plan for direct use.
+func (s *Session) Prepared() *Prepared { return s.prep }
+
+// Eval computes P(input) under ctx. Safe for concurrent callers; input is
+// not modified (evaluate frozen snapshots via Snapshot.Thaw).
+func (s *Session) Eval(ctx context.Context, input *Database) (*Database, EvalStats, error) {
+	out, st, err := s.prep.EvalCtx(ctx, input)
+	s.account(st)
+	return out, st, err
+}
+
+// EvalBudget is Eval with a derived-fact budget: maxDerived > 0 bounds the
+// facts derived beyond the input, returning an error wrapping ErrBudget
+// when exhausted. Safe for concurrent callers.
+func (s *Session) EvalBudget(ctx context.Context, input *Database, maxDerived int) (*Database, EvalStats, error) {
+	out, _, st, err := s.prep.EvalGoalCtx(ctx, input, nil, maxDerived)
+	s.account(st)
+	return out, st, err
+}
+
+// Query evaluates under ctx and filters: the tuples of the query atom's
+// relation that match its constants. Safe for concurrent callers.
+func (s *Session) Query(ctx context.Context, input *Database, query Atom) ([][]Const, EvalStats, error) {
+	out, st, err := s.Eval(ctx, input)
+	if err != nil {
+		return nil, st, err
+	}
+	var rows [][]Const
+	b := ast.Binding{}
+	db.MatchAtom(out, query, db.AllRounds, b, func() bool {
+		g := query.MustGround(b)
+		t := make([]Const, len(g.Args))
+		copy(t, g.Args)
+		rows = append(rows, t)
+		return true
+	})
+	return rows, st, nil
+}
+
+// Minimize runs Fig. 2 minimization of the session program under ctx. The
+// containment session it builds prepares through the session's plan cache.
+func (s *Session) Minimize(ctx context.Context, opts MinimizeOptions) (*Program, MinimizeTrace, error) {
+	opts.Context = ctx
+	if opts.PlanCache == nil {
+		opts.PlanCache = s.cache
+	}
+	q, trace, err := minimize.Program(s.prog.Clone(), opts)
+	s.account(trace.Stats)
+	return q, trace, err
+}
+
+// checker lazily builds the containment session; callers hold s.mu.
+func (s *Session) checker() (*ContainmentChecker, error) {
+	if s.ck == nil {
+		ck, err := chase.NewCheckerCache(s.prog, s.cache)
+		if err != nil {
+			return nil, err
+		}
+		s.ck = ck
+	}
+	return s.ck, nil
+}
+
+// ContainsRule decides r ⊑ᵘ P for the session program P. Serialized.
+func (s *Session) ContainsRule(ctx context.Context, r Rule) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck, err := s.checker()
+	if err != nil {
+		return false, err
+	}
+	ck.SetContext(ctx)
+	defer ck.SetContext(nil)
+	ok, err := ck.ContainsRule(r)
+	s.accountChecker(ck)
+	return ok, err
+}
+
+// Contains decides P₂ ⊑ᵘ P for the session program P; the int is the index
+// of the first offending rule of p2 on failure, -1 on success. Serialized.
+func (s *Session) Contains(ctx context.Context, p2 *Program) (bool, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck, err := s.checker()
+	if err != nil {
+		return false, -1, err
+	}
+	ck.SetContext(ctx)
+	defer ck.SetContext(nil)
+	ok, idx, err := ck.Contains(p2)
+	s.accountChecker(ck)
+	return ok, idx, err
+}
+
+// Compare decides uniform equivalence of the two sessions' programs. The
+// two containment directions run strictly one after the other, each under
+// its own session's mutex — never nested — so concurrent Compare calls
+// over any session pairs cannot deadlock.
+func (s *Session) Compare(ctx context.Context, other *Session) (bool, error) {
+	ok, _, err := s.Contains(ctx, other.prog)
+	if err != nil || !ok {
+		return false, err
+	}
+	ok, _, err = other.Contains(ctx, s.prog)
+	return ok, err
+}
+
+// preserveSession lazily builds the preservation session; callers hold s.mu.
+func (s *Session) preserveSession() (*PreserveSession, error) {
+	if s.ps == nil {
+		ps, err := preserve.NewSessionCache(s.prog, s.cache)
+		if err != nil {
+			return nil, err
+		}
+		s.ps = ps
+	}
+	return s.ps, nil
+}
+
+// Preserve runs the Fig. 3 preservation check of the session program
+// against tgds under ctx. Serialized.
+func (s *Session) Preserve(ctx context.Context, tgds []TGD, opts PreserveOptions) (Verdict, *PreserveCounterexample, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, err := s.preserveSession()
+	if err != nil {
+		return Unknown, nil, err
+	}
+	opts.Context = ctx
+	return ps.Check(tgds, opts)
+}
+
+// PreservePreliminary decides condition (3′) of Section X for the session
+// program under ctx. Serialized.
+func (s *Session) PreservePreliminary(ctx context.Context, tgds []TGD, opts PreserveOptions) (Verdict, *PreserveCounterexample, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, err := s.preserveSession()
+	if err != nil {
+		return Unknown, nil, err
+	}
+	opts.Context = ctx
+	return ps.CheckPreliminary(tgds, opts)
+}
+
+// accountChecker folds the checker's counters accumulated since the last
+// accounting into the session totals; the caller holds s.mu.
+func (s *Session) accountChecker(ck *ContainmentChecker) {
+	cur := ck.Stats()
+	d := EvalStats{
+		Rounds:             cur.Rounds - s.ckLast.Rounds,
+		Firings:            cur.Firings - s.ckLast.Firings,
+		Added:              cur.Added - s.ckLast.Added,
+		PrepareHits:        cur.PrepareHits - s.ckLast.PrepareHits,
+		PrepareMisses:      cur.PrepareMisses - s.ckLast.PrepareMisses,
+		VerdictsReused:     cur.VerdictsReused - s.ckLast.VerdictsReused,
+		VerdictsRecomputed: cur.VerdictsRecomputed - s.ckLast.VerdictsRecomputed,
+		VerdictsSubsumed:   cur.VerdictsSubsumed - s.ckLast.VerdictsSubsumed,
+		StrataStreamed:     cur.StrataStreamed - s.ckLast.StrataStreamed,
+		StrataMaterialized: cur.StrataMaterialized - s.ckLast.StrataMaterialized,
+		BindingsPipelined:  cur.BindingsPipelined - s.ckLast.BindingsPipelined,
+		EarlyStopCuts:      cur.EarlyStopCuts - s.ckLast.EarlyStopCuts,
+	}
+	s.ckLast = cur
+	s.account(d)
+}
+
+// account folds one request's stats into the session totals.
+func (s *Session) account(st EvalStats) {
+	s.statsMu.Lock()
+	s.total.Rounds += st.Rounds
+	s.total.Firings += st.Firings
+	s.total.Added += st.Added
+	s.total.AddCache(st)
+	s.total.AddStreaming(st)
+	s.evals++
+	s.statsMu.Unlock()
+}
+
+// Stats returns the session's accumulated evaluation statistics and the
+// number of accounted requests.
+func (s *Session) Stats() (EvalStats, uint64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.total, s.evals
+}

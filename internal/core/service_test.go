@@ -1,0 +1,291 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+)
+
+// serviceProgram has recursion, a redundant atom (for minimize) and several
+// strata — enough structure for the shared-cache property test to exercise
+// plans, verdicts and streaming paths.
+const serviceProgram = `
+	T(x,y) :- E(x,y).
+	T(x,z) :- E(x,y), T(y,z).
+	Reach(x) :- Src(x).
+	Reach(y) :- Reach(x), E(x,y), E(x,y).
+	Pair(x,y) :- Reach(x), Reach(y).
+`
+
+func serviceDB(n, seed int) *core.Database {
+	d := core.NewDatabase()
+	for i := 0; i < n; i++ {
+		d.AddTuple("E", []core.Const{intc(i), intc((i*7 + seed) % n)})
+	}
+	d.AddTuple("Src", []core.Const{intc(seed % n)})
+	return d
+}
+
+func intc(i int) core.Const { return ast.Int(int64(i)) }
+
+// factsKey renders a database's facts as one sorted string — the byte
+// identity the property test compares.
+func factsKey(d *core.Database) string {
+	facts := d.Facts()
+	out := make([]string, len(facts))
+	for i, f := range facts {
+		out[i] = f.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+// TestSharedPlanCachePropertyMatchesIsolated is the satellite property
+// test: N concurrent tenants sharing one PlanCache must produce results
+// byte-identical to isolated-cache runs, across the strategy (Eval /
+// EvalBudget / Query) × worker × goal grid. Run under -race in CI.
+func TestSharedPlanCachePropertyMatchesIsolated(t *testing.T) {
+	prog, err := core.ParseProgram(serviceProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const iters = 6
+
+	// Oracle: isolated cache per (worker, iter, strategy) — one-shot runs
+	// that cannot share anything.
+	type key struct{ w, i, strat int }
+	want := make(map[key]string)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < iters; i++ {
+			for strat := 0; strat < 3; strat++ {
+				sess, err := core.NewSession(prog, core.SessionOptions{PlanCache: core.NewPlanCache(4)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := runStrategy(sess, strat, w, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[key{w, i, strat}] = res
+			}
+		}
+	}
+
+	// Shared: every worker drives one Service (one shared plan cache, one
+	// session per program) concurrently.
+	svc := core.NewService(core.SessionOptions{PlanCache: core.NewPlanCache(64)})
+	shared, err := svc.Open(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for strat := 0; strat < 3; strat++ {
+					res, err := runStrategy(shared, strat, w, i)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res != want[key{w, i, strat}] {
+						errs <- fmt.Errorf("worker %d iter %d strat %d: shared-cache result diverged from isolated run", w, i, strat)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// runStrategy executes one (strategy, worker, iter) cell and returns a
+// deterministic string rendering of the result.
+func runStrategy(sess *core.Session, strat, w, i int) (string, error) {
+	ctx := context.Background()
+	input := serviceDB(12+i, w+1)
+	switch strat {
+	case 0:
+		out, _, err := sess.Eval(ctx, input)
+		if err != nil {
+			return "", err
+		}
+		return factsKey(out), nil
+	case 1:
+		// A generous budget: results must still be the full model.
+		out, _, err := sess.EvalBudget(ctx, input, 1<<20)
+		if err != nil {
+			return "", err
+		}
+		return factsKey(out), nil
+	default:
+		rows, _, err := sess.Query(ctx, input, ast.NewAtom("T", ast.Var("x"), ast.Var("y")))
+		if err != nil {
+			return "", err
+		}
+		parts := make([]string, len(rows))
+		for j, row := range rows {
+			cells := make([]string, len(row))
+			for k, c := range row {
+				cells[k] = fmt.Sprint(c)
+			}
+			parts[j] = strings.Join(cells, ",")
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, "\n"), nil
+	}
+}
+
+// TestSessionDeadlineTypedErrors pins the cancellation contract on every
+// session verb: an already-expired deadline yields an error wrapping both
+// core.ErrCanceled and context.DeadlineExceeded, and the session keeps
+// serving correct results afterwards (the shared stores are not poisoned).
+func TestSessionDeadlineTypedErrors(t *testing.T) {
+	prog, err := core.ParseProgram(serviceProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	input := serviceDB(16, 3)
+	if _, _, err := sess.Eval(expired, input); !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Eval with expired deadline: err = %v, want ErrCanceled + DeadlineExceeded", err)
+	}
+	if _, _, err := sess.Minimize(expired, core.MinimizeOptions{}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("Minimize with expired deadline: err = %v, want ErrCanceled", err)
+	}
+	if _, err := sess.ContainsRule(expired, prog.Rules[0]); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("ContainsRule with expired deadline: err = %v, want ErrCanceled", err)
+	}
+	tgd, err := core.ParseTGD("T(x,y), T(y,z) -> T(x,z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Preserve(expired, []core.TGD{tgd}, core.PreserveOptions{}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("Preserve with expired deadline: err = %v, want ErrCanceled", err)
+	}
+
+	// The session still answers correctly after every cancellation.
+	out, _, err := sess.Eval(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, _, err := core.Eval(prog, input, core.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factsKey(out) != factsKey(oracle) {
+		t.Fatal("post-cancellation Eval diverged from the one-shot oracle")
+	}
+	ok, err := sess.ContainsRule(context.Background(), prog.Rules[0])
+	if err != nil || !ok {
+		t.Fatalf("post-cancellation ContainsRule = %v, %v; want true", ok, err)
+	}
+
+	// EvalBudget still returns the typed budget error.
+	if _, _, err := sess.EvalBudget(context.Background(), serviceDB(64, 1), 3); !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("EvalBudget: err = %v, want ErrBudget", err)
+	}
+}
+
+// TestServiceOpenDedups pins content-addressed session sharing: opening an
+// alpha-renamed copy returns the same session.
+func TestServiceOpenDedups(t *testing.T) {
+	svc := core.NewService()
+	p1, err := core.ParseProgram("T(x,y) :- E(x,y).\nT(x,z) :- E(x,y), T(y,z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.ParseProgram("T(a,b) :- E(a,b).\nT(a,c) :- E(a,b), T(b,c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := svc.Open(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := svc.Open(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("alpha-renamed program did not share the session")
+	}
+	if svc.Len() != 1 {
+		t.Fatalf("service has %d sessions, want 1", svc.Len())
+	}
+}
+
+// TestSessionCompareConcurrent cross-compares sessions from many
+// goroutines in both directions — the sequential (never nested) locking
+// must not deadlock, and verdicts must be stable. Run under -race in CI.
+func TestSessionCompareConcurrent(t *testing.T) {
+	base := "T(x,y) :- E(x,y).\nT(x,z) :- E(x,y), T(y,z)."
+	redundant := "T(x,y) :- E(x,y), E(x,y).\nT(x,z) :- E(x,y), T(y,z)."
+	p1, err := core.ParseProgram(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.ParseProgram(redundant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := core.NewService()
+	s1, err := svc.Open(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := svc.Open(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a, b := s1, s2
+			if g%2 == 1 {
+				a, b = s2, s1
+			}
+			for i := 0; i < 4; i++ {
+				eq, err := a.Compare(context.Background(), b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !eq {
+					errs <- fmt.Errorf("goroutine %d: programs not equivalent", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

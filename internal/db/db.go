@@ -19,6 +19,9 @@ type Database struct {
 	rels  map[string]*Relation
 	round int32
 	size  int
+	// frozen marks a database made immutable by Freeze: mutators panic, and
+	// Clone degrades to a map copy sharing every relation (see snapshot.go).
+	frozen bool
 }
 
 // New returns an empty database.
@@ -41,6 +44,9 @@ func (d *Database) Round() int32 { return d.round }
 // BeginRound advances the round counter; tuples added afterwards are stamped
 // with the new round. It returns the new round number.
 func (d *Database) BeginRound() int32 {
+	if d.frozen {
+		panic("db: BeginRound on a frozen database")
+	}
 	d.round++
 	return d.round
 }
@@ -55,9 +61,20 @@ func (d *Database) Add(g ast.GroundAtom) bool {
 
 // AddTuple inserts args as a tuple of pred, returning true if it was new.
 func (d *Database) AddTuple(pred string, args []ast.Const) bool {
+	if d.frozen {
+		panic("db: write to a frozen database (stage changes through Snapshot.Thaw)")
+	}
 	r, ok := d.rels[pred]
 	if !ok {
 		r = newRelation(len(args))
+		d.rels[pred] = r
+	}
+	if r.shared {
+		// Copy-on-write: the relation is shared with a frozen snapshot, so
+		// the first write to this predicate copies it. Shared relations
+		// therefore never grow — the invariant that keeps snapshot readers'
+		// lock-free probes valid.
+		r = r.clone()
 		d.rels[pred] = r
 	}
 	if r.insert(args, d.round) {
@@ -112,11 +129,20 @@ func (d *Database) Preds() []string {
 // Len returns the total number of ground atoms.
 func (d *Database) Len() int { return d.size }
 
-// Clone returns a deep copy of the database (round stamps included).
+// Clone returns a writable copy of the database (round stamps included).
+// Private relations are deep-copied; relations shared with a frozen
+// snapshot are immutable, so the copy shares their storage and defers the
+// deep copy to the first write (copy-on-write via AddTuple). Cloning a
+// frozen database is therefore a map copy — the cheap path every
+// evaluation over a Snapshot takes.
 func (d *Database) Clone() *Database {
 	c := &Database{rels: make(map[string]*Relation, len(d.rels)), round: d.round, size: d.size}
 	for p, r := range d.rels {
-		c.rels[p] = r.clone()
+		if r.shared {
+			c.rels[p] = r
+		} else {
+			c.rels[p] = r.clone()
+		}
 	}
 	return c
 }

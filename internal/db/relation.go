@@ -42,6 +42,13 @@ type Relation struct {
 	// callers (MatchIDs on a stale relation); the evaluation hot path never
 	// takes it.
 	mu sync.Mutex
+
+	// shared marks a relation referenced by a frozen Snapshot: its tuple
+	// set is immutable (Database.AddTuple copies it before the first
+	// write), so any number of goroutines may scan, probe and build
+	// indexes on it concurrently. Set under Freeze's happens-before edge,
+	// cleared implicitly by clone (a fresh copy is private).
+	shared bool
 }
 
 // indexSet is an immutable (mask → index) association list.

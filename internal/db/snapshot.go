@@ -1,0 +1,55 @@
+package db
+
+// Copy-on-freeze snapshots. A long-running server wants many concurrent
+// readers over one tenant database while a writer stages the next version.
+// Deep-cloning per request would copy every arena; locking per probe would
+// serialize the hot path. Freeze gives the third option: mark the database
+// and its relations immutable, hand out a Snapshot, and make every later
+// Clone a map-copy of shared relation pointers. Shared relations never grow
+// (AddTuple copies a relation before its first write), so the lock-free
+// index probes of the evaluation hot path stay valid for every reader, and
+// EnsureIndex on a shared relation is safe by the existing mutex + atomic
+// index-set publication — readers of one snapshot even share lazily built
+// warm indexes.
+//
+// Concurrency contract: Freeze must happen-before the snapshot is shared
+// with other goroutines (publish it through a channel, mutex, or atomic —
+// the registry layers above do). After that, any number of goroutines may
+// read, probe, index, Clone and Thaw concurrently.
+
+// Snapshot is an immutable view of a frozen database. The underlying
+// database can no longer be mutated; writes go through Thaw, which stages a
+// cheap copy-on-write successor.
+type Snapshot struct {
+	d *Database
+}
+
+// Freeze makes d immutable and returns its snapshot handle. Every relation
+// is marked shared, so all subsequent Clone/Thaw copies are shallow: they
+// share relation storage until a write to a specific predicate copies that
+// one relation. Mutating d after Freeze panics.
+func (d *Database) Freeze() *Snapshot {
+	d.frozen = true
+	for _, r := range d.rels {
+		r.shared = true
+	}
+	return &Snapshot{d: d}
+}
+
+// Frozen reports whether the database has been frozen by Freeze.
+func (d *Database) Frozen() bool { return d.frozen }
+
+// DB returns the frozen database for reading and evaluation input. Callers
+// must not mutate it (mutators panic); evaluation's own input.Clone() is a
+// shallow copy-on-write copy, so evaluating a snapshot is cheap and safe
+// from any number of goroutines.
+func (s *Snapshot) DB() *Database { return s.d }
+
+// Len returns the snapshot's fact count.
+func (s *Snapshot) Len() int { return s.d.Len() }
+
+// Thaw returns a writable database staging the snapshot's successor: it
+// shares every relation with the snapshot until a write touches that
+// relation, which copies it first (copy-on-write). The snapshot itself is
+// unaffected; concurrent readers keep their view.
+func (s *Snapshot) Thaw() *Database { return s.d.Clone() }

@@ -18,11 +18,13 @@
 package equivopt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/chase"
+	"repro/internal/eval"
 	"repro/internal/preserve"
 )
 
@@ -45,6 +47,13 @@ type Options struct {
 	// initialization rules — is always tried first; deeper preliminary DBs
 	// are probed only when shallower ones fail. Default 1.
 	PrelimDepth int
+	// Context, when non-nil, cancels the optimization: it is observed
+	// before every candidate pipeline and threaded into all three Section X
+	// condition checks, so a deadline aborts with an error wrapping
+	// eval.ErrCanceled. Cancellation never yields a partially applied
+	// program — Optimize returns the removals accepted so far with the
+	// error.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -249,6 +258,9 @@ func TryCandidate(p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.
 	if err != nil {
 		return nil, err
 	}
+	if opts.Context != nil {
+		ck.SetContext(opts.Context)
+	}
 	ps, err := preserve.NewSession(p)
 	if err != nil {
 		return nil, err
@@ -261,6 +273,9 @@ func TryCandidate(p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.
 // (3′) through the prepared Pⁿ and its cached unfoldings.
 func tryCandidate(ck *chase.Checker, ps *preserve.Session, p *ast.Program, ruleIdx int, c Candidate, opts Options) (*ast.Program, error) {
 	opts = opts.withDefaults()
+	if err := eval.CtxErr(opts.Context); err != nil {
+		return nil, err
+	}
 	budget := opts.Budget
 	// Build P2: p with the candidate atoms removed from the rule.
 	cand := p.Rules[ruleIdx]
@@ -284,7 +299,7 @@ func tryCandidate(ck *chase.Checker, ps *preserve.Session, p *ast.Program, ruleI
 	// probe increasing depths like condition (3′) below.
 	ok2 := false
 	for depth := 1; depth <= opts.PrelimDepth && !ok2; depth++ {
-		v, _, err = ps.Check(T, preserve.Options{Depth: depth, Budget: budget})
+		v, _, err = ps.Check(T, preserve.Options{Depth: depth, Budget: budget, Context: opts.Context})
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +311,7 @@ func tryCandidate(ck *chase.Checker, ps *preserve.Session, p *ast.Program, ruleI
 	// (3′) the preliminary DB of P1 satisfies T; probe increasing
 	// unfolding depths (Section X's closing remark).
 	for depth := 1; depth <= opts.PrelimDepth; depth++ {
-		v, _, err = ps.CheckPreliminary(T, preserve.Options{Depth: depth, Budget: budget})
+		v, _, err = ps.CheckPreliminary(T, preserve.Options{Depth: depth, Budget: budget, Context: opts.Context})
 		if err != nil {
 			return nil, err
 		}
@@ -327,6 +342,9 @@ func Optimize(p *ast.Program, opts Options) (*ast.Program, []Removal, error) {
 	ck, err := chase.NewChecker(cur)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opts.Context != nil {
+		ck.SetContext(opts.Context)
 	}
 	ps, err := preserve.NewSession(cur)
 	if err != nil {

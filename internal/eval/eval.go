@@ -11,6 +11,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -33,6 +34,35 @@ const (
 
 // ErrBudget is returned when evaluation exceeds Options.MaxDerived.
 var ErrBudget = errors.New("eval: derived-fact budget exhausted")
+
+// ErrCanceled is returned when an evaluation's context is canceled or its
+// deadline expires. Cancellation is checked at round boundaries and — with a
+// small cadence — on the emit path, extending the in-round MaxDerived
+// discipline: a round that would run long past a deadline is cut mid-stream,
+// not at its end. Errors wrap both ErrCanceled and the context's own error,
+// so errors.Is works against ErrCanceled, context.Canceled and
+// context.DeadlineExceeded alike.
+var ErrCanceled = errors.New("eval: evaluation canceled")
+
+// CtxErr converts a context's cancellation state into the package's typed
+// error (nil context or live context → nil). Session layers embedding
+// evaluation in longer procedures (the containment chases, minimization,
+// preservation checks) use it for their own between-call checks so every
+// layer reports cancellation identically.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// ctxCheckEvery is the emit-path cancellation cadence: the context is polled
+// once per this many derived facts, keeping the check off the per-tuple hot
+// path while bounding how much work a canceled evaluation can still do.
+const ctxCheckEvery = 128
 
 // Options configures evaluation.
 type Options struct {
@@ -70,6 +100,16 @@ type Options struct {
 	// full fixpoint. Containment sessions use this to stop the frozen-body
 	// test of Section VI as soon as the frozen head appears.
 	Goal *ast.GroundAtom
+	// Context, when non-nil, cancels evaluation when it is done: deadlines
+	// (context.WithTimeout/WithDeadline) and explicit cancellation both
+	// surface as an error wrapping ErrCanceled. Cancellation is observed at
+	// round boundaries and with a small cadence on the emit path. The
+	// context is a per-call concern, never part of a plan: Prepare strips it
+	// from the retained options and the plan cache ignores it when
+	// fingerprinting, so a canceled request can never poison a cached plan.
+	// Prepared callers pass per-request contexts through EvalCtx /
+	// EvalGoalCtx / EvalGoalProvCtx instead.
+	Context context.Context
 }
 
 // Stats reports work done by an evaluation. The cache fields are filled by
@@ -144,7 +184,7 @@ func Eval(p *ast.Program, input *db.Database, opts Options) (*db.Database, Stats
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return pr.Eval(input)
+	return pr.EvalCtx(opts.Context, input)
 }
 
 // MustEval is Eval with default options, panicking on error; intended for

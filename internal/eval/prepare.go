@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -86,11 +87,14 @@ type roundSetup struct {
 
 // Prepare validates p and builds its evaluation schedule under opts. The
 // program is cloned, so later mutation of p (the minimization loops rewrite
-// rules in place) cannot corrupt the prepared state.
+// rules in place) cannot corrupt the prepared state. Options.Context is a
+// per-call concern and is stripped here: a Prepared outlives any request and
+// is shared through the plan cache, so a plan must never retain a context.
 func Prepare(p *ast.Program, opts Options) (*Prepared, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	opts.Context = nil
 	pr := &Prepared{prog: p.Clone(), opts: opts}
 	groups, err := scheduleGroups(pr.prog, opts)
 	if err != nil {
@@ -261,7 +265,17 @@ func (pr *Prepared) Program() *ast.Program { return pr.prog }
 // stops as soon as the goal atom is derived (it is then present in the
 // returned database).
 func (pr *Prepared) Eval(input *db.Database) (*db.Database, Stats, error) {
-	out, _, stats, err := pr.run(input, pr.opts.Goal, pr.opts.MaxDerived, nil)
+	out, _, stats, err := pr.run(nil, input, pr.opts.Goal, pr.opts.MaxDerived, nil)
+	return out, stats, err
+}
+
+// EvalCtx is Eval under a per-call context: cancellation or deadline expiry
+// aborts the evaluation with an error wrapping ErrCanceled, checked at round
+// boundaries and on the emit path. A nil ctx is Eval. The context belongs to
+// the call, not the plan, so one Prepared concurrently serves requests with
+// independent deadlines.
+func (pr *Prepared) EvalCtx(ctx context.Context, input *db.Database) (*db.Database, Stats, error) {
+	out, _, stats, err := pr.run(ctx, input, pr.opts.Goal, pr.opts.MaxDerived, nil)
 	return out, stats, err
 }
 
@@ -273,7 +287,12 @@ func (pr *Prepared) Eval(input *db.Database) (*db.Database, Stats, error) {
 // frozen head is derivable, never for the full fixpoint. A nil goal
 // saturates fully and reports false.
 func (pr *Prepared) EvalGoal(input *db.Database, goal *ast.GroundAtom, maxDerived int) (*db.Database, bool, Stats, error) {
-	return pr.run(input, goal, maxDerived, nil)
+	return pr.run(nil, input, goal, maxDerived, nil)
+}
+
+// EvalGoalCtx is EvalGoal under a per-call context (see EvalCtx).
+func (pr *Prepared) EvalGoalCtx(ctx context.Context, input *db.Database, goal *ast.GroundAtom, maxDerived int) (*db.Database, bool, Stats, error) {
+	return pr.run(ctx, input, goal, maxDerived, nil)
 }
 
 // EvalGoalProv is EvalGoal additionally recording rule provenance: every
@@ -285,11 +304,19 @@ func (pr *Prepared) EvalGoal(input *db.Database, goal *ast.GroundAtom, maxDerive
 // to keep a memoized verdict across a rule deletion: if a deleted rule is
 // not in prov, no derivation the evaluation produced could have used it.
 func (pr *Prepared) EvalGoalProv(input *db.Database, goal *ast.GroundAtom, maxDerived int, prov *RuleSet) (*db.Database, bool, Stats, error) {
-	return pr.run(input, goal, maxDerived, prov)
+	return pr.run(nil, input, goal, maxDerived, prov)
 }
 
-func (pr *Prepared) run(input *db.Database, goal *ast.GroundAtom, maxDerived int, prov *RuleSet) (*db.Database, bool, Stats, error) {
+// EvalGoalProvCtx is EvalGoalProv under a per-call context (see EvalCtx).
+func (pr *Prepared) EvalGoalProvCtx(ctx context.Context, input *db.Database, goal *ast.GroundAtom, maxDerived int, prov *RuleSet) (*db.Database, bool, Stats, error) {
+	return pr.run(ctx, input, goal, maxDerived, prov)
+}
+
+func (pr *Prepared) run(ctx context.Context, input *db.Database, goal *ast.GroundAtom, maxDerived int, prov *RuleSet) (*db.Database, bool, Stats, error) {
 	var stats Stats
+	if err := CtxErr(ctx); err != nil {
+		return nil, false, stats, err
+	}
 	d := input.Clone()
 	if goal != nil && d.Has(*goal) {
 		return d, true, stats, nil
@@ -302,7 +329,7 @@ func (pr *Prepared) run(input *db.Database, goal *ast.GroundAtom, maxDerived int
 		if prov != nil {
 			ruleIdxs = pr.unitIdxs[ui]
 		}
-		if err := u.fixpoint(d, opts, &stats, baseLen, goal, prov, ruleIdxs); err != nil {
+		if err := u.fixpoint(ctx, d, opts, &stats, baseLen, goal, prov, ruleIdxs); err != nil {
 			if errors.Is(err, errGoal) {
 				return d, true, stats, nil
 			}
@@ -514,7 +541,10 @@ func (u *unit) build(perms [][]int, opts Options) *roundSetup {
 // atom is derived. A non-nil prov collects the program rule indexes (via
 // ruleIdxs, the owner Prepared's unit-local → program mapping) of every
 // rule that derived at least one new fact.
-func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom, prov *RuleSet, ruleIdxs []int) error {
+func (u *unit) fixpoint(ctx context.Context, d *db.Database, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom, prov *RuleSet, ruleIdxs []int) error {
+	if err := CtxErr(ctx); err != nil {
+		return err
+	}
 	prevTop := d.Round() // facts present before this stratum: rounds ≤ prevTop
 	round := d.BeginRound()
 	stats.Rounds++
@@ -542,7 +572,7 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 	// beyond the facts it derives.
 	if rs.streams != nil && opts.Strategy == SemiNaive {
 		stats.StrataStreamed++
-		if err := u.streamRound(d, rs, prevTop, opts, stats, baseLen, goal, prov, ruleIdxs); err != nil {
+		if err := u.streamRound(ctx, d, rs, prevTop, opts, stats, baseLen, goal, prov, ruleIdxs); err != nil {
 			return err
 		}
 		return checkBudget(d, baseLen, opts)
@@ -581,6 +611,8 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 		if opts.Workers <= 1 || len(variants) < 2 {
 			stop := false
 			goalHit := false
+			canceled := false
+			ctxTick := 0
 			remaining := -1
 			if opts.MaxDerived > 0 {
 				remaining = opts.MaxDerived - (d.Len() - baseLen)
@@ -601,8 +633,22 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 				}
 				return true
 			}
+			if ctx != nil {
+				// Emit-path cancellation cadence: a long round still stops
+				// promptly after its deadline, like the budget tripwire. The
+				// check is layered on as a wrapper so a context-free Eval
+				// pays nothing for it.
+				inner := emit
+				emit = func(pred string, args []ast.Const) bool {
+					if ctxTick++; ctxTick%ctxCheckEvery == 0 && ctx.Err() != nil {
+						canceled = true
+						stop = true
+					}
+					return inner(pred, args)
+				}
+			}
 			var stopFn func() bool
-			if opts.MaxDerived > 0 || goal != nil {
+			if opts.MaxDerived > 0 || goal != nil || ctx != nil {
 				stopFn = func() bool { return stop }
 			}
 			for _, v := range variants {
@@ -624,6 +670,9 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 				}
 				if goalHit {
 					return errGoal
+				}
+				if canceled {
+					return CtxErr(ctx)
 				}
 				if stop {
 					return budgetErr()
@@ -665,6 +714,13 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 			stopFn = func() bool { return tripped.Load() }
 		}
 		for {
+			// Parallel rounds observe cancellation at round (and re-fire)
+			// boundaries: aborting in-flight variants mid-enumeration would
+			// make the partial database depend on goroutine scheduling, which
+			// the deterministic merge below exists to prevent.
+			if err := CtxErr(ctx); err != nil {
+				return err
+			}
 			tentative.Store(int64(d.Len() - baseLen))
 			tripped.Store(false)
 			buffers := make([][]pending, len(variants))
@@ -750,6 +806,9 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 		if !anyAddedIn(d, round) {
 			return nil
 		}
+		if err := CtxErr(ctx); err != nil {
+			return err
+		}
 		prev := round
 		round = d.BeginRound()
 		stats.Rounds++
@@ -793,11 +852,11 @@ func (u *unit) fixpoint(d *db.Database, opts Options, stats *Stats, baseLen int,
 // budget, same provenance credit — so swapping it in changes cost, never
 // observables. One streamState serves every plan in the pass; nothing else
 // is allocated per rule.
-func (u *unit) streamRound(d *db.Database, rs *roundSetup, prevTop int32, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom, prov *RuleSet, ruleIdxs []int) error {
+func (u *unit) streamRound(ctx context.Context, d *db.Database, rs *roundSetup, prevTop int32, opts Options, stats *Stats, baseLen int, goal *ast.GroundAtom, prov *RuleSet, ruleIdxs []int) error {
 	st := getStreamState(rs.streams)
 	defer putStreamState(st)
 	sk := &st.fix
-	*sk = fixpointSink{d: d, goal: goal, prov: prov, remaining: -1}
+	*sk = fixpointSink{d: d, goal: goal, prov: prov, ctx: ctx, remaining: -1}
 	if opts.MaxDerived > 0 {
 		sk.remaining = opts.MaxDerived - (d.Len() - baseLen)
 	}
@@ -809,6 +868,10 @@ func (u *unit) streamRound(d *db.Database, rs *roundSetup, prevTop int32, opts O
 		if sk.goalHit {
 			stats.EarlyStopCuts++
 			return errGoal
+		}
+		if sk.canceled {
+			stats.EarlyStopCuts++
+			return CtxErr(ctx)
 		}
 		if sk.stop {
 			stats.EarlyStopCuts++

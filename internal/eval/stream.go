@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/ast"
@@ -167,10 +168,13 @@ type fixpointSink struct {
 	d         *db.Database
 	goal      *ast.GroundAtom
 	prov      *RuleSet
-	ruleIdx   int // program index of the rule currently running, for prov
-	remaining int // derived-fact budget countdown; -1 = unlimited
+	ctx       context.Context // per-call cancellation; nil = never canceled
+	ruleIdx   int             // program index of the rule currently running, for prov
+	remaining int             // derived-fact budget countdown; -1 = unlimited
+	ctxTick   int             // emit counter for the cancellation cadence
 	stop      bool
 	goalHit   bool
+	canceled  bool
 }
 
 func (s *fixpointSink) emit(pred string, args []ast.Const) bool {
@@ -184,6 +188,14 @@ func (s *fixpointSink) emit(pred string, args []ast.Const) bool {
 	if s.remaining >= 0 {
 		s.remaining--
 		if s.remaining < 0 {
+			s.stop = true
+		}
+	}
+	if s.ctx != nil {
+		// Same cadence as the materializing emit closure: cancellation cuts
+		// the pipeline mid-stream instead of waiting for the pass to finish.
+		if s.ctxTick++; s.ctxTick%ctxCheckEvery == 0 && s.ctx.Err() != nil {
+			s.canceled = true
 			s.stop = true
 		}
 	}

@@ -19,6 +19,7 @@
 package minimize
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/ast"
@@ -43,6 +44,16 @@ type Options struct {
 	// program rule θ-subsumes. Ablation hook: the minimized program must be
 	// byte-identical either way.
 	DisableSyntacticFastPath bool
+	// Context, when non-nil, cancels minimization: it is checked between
+	// candidate deletions and threaded into every containment chase, so a
+	// deadline aborts promptly with an error wrapping eval.ErrCanceled.
+	// Cancellation leaves the shared plan and verdict caches valid — only
+	// completed verdicts are ever published.
+	Context context.Context
+	// PlanCache selects the plan cache the containment sessions prepare
+	// through; nil selects the process-wide cache. Servers and tests inject
+	// their own to isolate or shard cache footprints.
+	PlanCache *eval.PlanCache
 }
 
 // AtomRemoval records one Fig. 1/Fig. 2 atom deletion.
@@ -117,12 +128,15 @@ func Program(p *ast.Program, opts Options) (*ast.Program, Trace, error) {
 func minimizeAtoms(p *ast.Program, opts Options) (*ast.Program, *chase.Checker, Trace, error) {
 	var trace Trace
 	q := p // both callers pass a program they own; it is mutated in place
-	ck, err := chase.NewChecker(q)
+	ck, err := chase.NewCheckerCache(q, opts.PlanCache)
 	if err != nil {
 		return nil, nil, trace, err
 	}
 	if opts.DisableSyntacticFastPath {
 		ck.DisableSyntacticFastPath()
+	}
+	if opts.Context != nil {
+		ck.SetContext(opts.Context)
 	}
 	for i := range q.Rules {
 		if opts.Rand != nil {

@@ -1,6 +1,7 @@
 package preserve
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -115,6 +116,11 @@ type Options struct {
 	// Budget bounds each internal chase; zero fields take
 	// chase.DefaultBudget.
 	Budget chase.Budget
+	// Context, when non-nil, cancels the check: it is observed between
+	// tgds and between LHS combinations, so a deadline aborts the
+	// combination walk promptly with an error wrapping eval.ErrCanceled.
+	// Cancellation never publishes a partial verdict.
+	Context context.Context
 }
 
 // Check runs the Fig. 3 procedure: it decides whether p preserves T
@@ -158,7 +164,10 @@ func (s *Session) Check(tgds []ast.TGD, opts Options) (chase.Verdict, *Counterex
 	}
 	sawUnknown := false
 	for _, tau := range tgds {
-		v, cex, err := checkTGD(prep, idb, tgds, tau, opts.Budget, combo)
+		if err := eval.CtxErr(opts.Context); err != nil {
+			return chase.Unknown, nil, err
+		}
+		v, cex, err := checkTGD(opts.Context, prep, idb, tgds, tau, opts.Budget, combo)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
@@ -208,7 +217,10 @@ func (s *Session) CheckPreliminary(tgds []ast.TGD, opts Options) (chase.Verdict,
 		return chase.Unknown, nil, err
 	}
 	for _, tau := range tgds {
-		v, cex, err := checkTGDOnce(e.prep, e.idb, tau, e.opts)
+		if err := eval.CtxErr(opts.Context); err != nil {
+			return chase.Unknown, nil, err
+		}
+		v, cex, err := checkTGDOnce(opts.Context, e.prep, e.idb, tau, e.opts)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
@@ -308,9 +320,12 @@ func combinationOptions(p *ast.Program, idb map[string]bool) map[string][]option
 
 // checkTGD enumerates all combinations for tau against the prepared
 // program and runs the interleaved chase-and-check loop on each.
-func checkTGD(prep *eval.Prepared, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, budget chase.Budget, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+func checkTGD(ctx context.Context, prep *eval.Prepared, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, budget chase.Budget, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
 	sawUnknown := false
 	err := forEachCombination(idb, tau, opts, func(c *combination) error {
+		if err := eval.CtxErr(ctx); err != nil {
+			return err
+		}
 		v, cex := runCombination(prep, tgds, tau, c, budget, true)
 		switch v {
 		case chase.No:
@@ -335,8 +350,11 @@ func checkTGD(prep *eval.Prepared, idb map[string]bool, tgds []ast.TGD, tau ast.
 
 // checkTGDOnce is the preliminary-DB variant: no tgd application to d, so a
 // single Pⁿ(d) check decides each combination.
-func checkTGDOnce(init *eval.Prepared, idb map[string]bool, tau ast.TGD, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+func checkTGDOnce(ctx context.Context, init *eval.Prepared, idb map[string]bool, tau ast.TGD, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
 	err := forEachCombination(idb, tau, opts, func(c *combination) error {
+		if err := eval.CtxErr(ctx); err != nil {
+			return err
+		}
 		v, cex := runCombination(init, nil, tau, c, chase.Budget{MaxAtoms: 1 << 30, MaxRounds: 1}, false)
 		if v == chase.No {
 			return &foundViolation{cex}

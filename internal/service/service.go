@@ -1,0 +1,309 @@
+// Package service turns the library into a long-running multi-tenant query
+// server: named, versioned programs in an in-process registry, per-tenant
+// fact databases read through frozen copy-on-write snapshots, and HTTP/JSON
+// handlers for eval, minimize, compare, vet and explain. The process-wide
+// plan cache and verdict store are shared across all tenants — requests
+// against canonically equal programs reuse one prepared plan and memoized
+// containment verdicts — while per-request budgets (derived-fact caps and
+// deadlines) keep any one tenant from monopolizing the process.
+//
+// Concurrency model. Each registered name owns one symbol table shared by
+// every program version and every tenant fact set under that name, so the
+// same symbol parses to the same constant everywhere — the invariant that
+// makes tenant facts and query atoms mean the same thing the program text
+// does. Symbol tables are mutated by interning, so every parse takes the
+// entry's write lock and every render takes its read lock. Evaluation
+// itself runs lock-free: inputs are frozen snapshots (immutable by
+// construction), plans are immutable, and the session layer (core.Session)
+// serializes only the single-threaded checker state.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/parser"
+)
+
+// Server is the in-process service: a registry of named program entries on
+// top of a shared core.Service session registry.
+type Server struct {
+	svc *core.Service
+
+	mu       sync.RWMutex
+	programs map[string]*programEntry
+
+	// Race-clean request counters, surfaced by /statz.
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	evals    atomic.Uint64
+	canceled atomic.Uint64
+}
+
+// New returns an empty server. Sessions prepare through the process-wide
+// plan cache unless opts injects another.
+func New(opts ...core.SessionOptions) *Server {
+	return &Server{svc: core.NewService(opts...), programs: make(map[string]*programEntry)}
+}
+
+// programEntry is one registered name: a shared symbol table, the version
+// chain of programs, and the per-tenant snapshot chains.
+type programEntry struct {
+	name string
+
+	// mu guards the symbol table (interning mutates it, so parses write-
+	// lock and renders read-lock) and the version/tenant maps.
+	mu       sync.RWMutex
+	syms     *ast.SymbolTable
+	versions map[int]*programVersion
+	latest   int
+	tenants  map[string]*tenantState
+}
+
+// programVersion is one immutable registered program version with its
+// long-lived session handle.
+type programVersion struct {
+	version int
+	source  string
+	prog    *core.Program
+	tgds    []core.TGD
+	session *core.Session
+}
+
+// tenantState is one tenant's fact-database version chain under a program
+// entry. Snapshots are immutable; staging a new version thaws the latest,
+// adds facts, and freezes the result.
+type tenantState struct {
+	versions map[int]*db.Snapshot
+	latest   int
+}
+
+// entry returns the registered entry for name, or nil.
+func (s *Server) entry(name string) *programEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.programs[name]
+}
+
+// RegisterProgram parses src under name's symbol table and registers it as
+// the next program version. The source must contain rules (and optionally
+// tgds) only: facts belong to tenant databases.
+func (s *Server) RegisterProgram(name, src string) (version, rules, tgds int, err error) {
+	s.mu.Lock()
+	e := s.programs[name]
+	if e == nil {
+		e = &programEntry{
+			name:     name,
+			syms:     ast.NewSymbolTable(),
+			versions: make(map[int]*programVersion),
+			tenants:  make(map[string]*tenantState),
+		}
+		s.programs[name] = e
+	}
+	s.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res, err := parser.ParseWithSymbols(src, e.syms)
+	if err != nil {
+		return 0, 0, 0, &RequestError{Status: 400, Code: "parse_error", Err: err}
+	}
+	if len(res.Facts) > 0 {
+		return 0, 0, 0, &RequestError{Status: 400, Code: "facts_in_program",
+			Err: fmt.Errorf("service: program source carries %d facts; load them per tenant via /facts", len(res.Facts))}
+	}
+	if len(res.Program.Rules) == 0 {
+		return 0, 0, 0, &RequestError{Status: 400, Code: "empty_program", Err: fmt.Errorf("service: no rules in source")}
+	}
+	sess, err := s.svc.Open(res.Program)
+	if err != nil {
+		return 0, 0, 0, &RequestError{Status: 400, Code: "invalid_program", Err: err}
+	}
+	e.latest++
+	pv := &programVersion{version: e.latest, source: src, prog: res.Program, tgds: res.TGDs, session: sess}
+	e.versions[pv.version] = pv
+	return pv.version, len(res.Program.Rules), len(res.TGDs), nil
+}
+
+// version resolves a program version under e (0 = latest); callers must
+// not hold e.mu.
+func (e *programEntry) versionEntry(v int) (*programVersion, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if v == 0 {
+		v = e.latest
+	}
+	pv := e.versions[v]
+	if pv == nil {
+		return nil, &RequestError{Status: 404, Code: "unknown_version",
+			Err: fmt.Errorf("service: program %q has no version %d", e.name, v)}
+	}
+	return pv, nil
+}
+
+// LoadFacts parses facts under the entry's symbol table and stages them as
+// the tenant's next database version (copy-on-write over the frozen
+// predecessor). It returns the new version and its total size.
+func (s *Server) LoadFacts(name, tenant, src string) (version, size int, err error) {
+	e := s.entry(name)
+	if e == nil {
+		return 0, 0, errUnknownProgram(name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res, err := parser.ParseWithSymbols(src, e.syms)
+	if err != nil {
+		return 0, 0, &RequestError{Status: 400, Code: "parse_error", Err: err}
+	}
+	if len(res.Program.Rules) > 0 || len(res.TGDs) > 0 {
+		return 0, 0, &RequestError{Status: 400, Code: "rules_in_facts",
+			Err: fmt.Errorf("service: fact source carries rules or tgds; register them as a program version")}
+	}
+	t := e.tenants[tenant]
+	if t == nil {
+		t = &tenantState{versions: make(map[int]*db.Snapshot)}
+		e.tenants[tenant] = t
+	}
+	var w *db.Database
+	if cur := t.versions[t.latest]; cur != nil {
+		w = cur.Thaw()
+	} else {
+		w = db.New()
+	}
+	for _, f := range res.Facts {
+		w.AddTuple(f.Pred, f.Args)
+	}
+	t.latest++
+	t.versions[t.latest] = w.Freeze()
+	return t.latest, w.Len(), nil
+}
+
+// snapshot resolves a tenant's database version (0 = latest).
+func (s *Server) snapshot(name, tenant string, v int) (*db.Snapshot, int, error) {
+	e := s.entry(name)
+	if e == nil {
+		return nil, 0, errUnknownProgram(name)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t := e.tenants[tenant]
+	if t == nil {
+		return nil, 0, &RequestError{Status: 404, Code: "unknown_tenant",
+			Err: fmt.Errorf("service: program %q has no tenant %q", name, tenant)}
+	}
+	if v == 0 {
+		v = t.latest
+	}
+	snap := t.versions[v]
+	if snap == nil {
+		return nil, 0, &RequestError{Status: 404, Code: "unknown_db_version",
+			Err: fmt.Errorf("service: tenant %q has no database version %d", tenant, v)}
+	}
+	return snap, v, nil
+}
+
+// parseQueryAtom interns a query atom under the entry's symbol table.
+func (e *programEntry) parseQueryAtom(src string) (ast.Atom, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a, err := parser.ParseAtomWithSymbols(src, e.syms)
+	if err != nil {
+		return ast.Atom{}, &RequestError{Status: 400, Code: "parse_error", Err: err}
+	}
+	return a, nil
+}
+
+// formatRows renders result tuples under the entry's symbol table, sorted
+// lexicographically for a deterministic wire format.
+func (e *programEntry) formatRows(rows [][]ast.Const) [][]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		r := make([]string, len(row))
+		for j, c := range row {
+			r[j] = ast.FormatConst(c, e.syms)
+		}
+		out[i] = r
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// formatFacts renders a database's facts under the entry's symbol table,
+// sorted for a deterministic wire format.
+func (e *programEntry) formatFacts(d *db.Database) []string {
+	facts := d.Facts()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, len(facts))
+	for i, f := range facts {
+		out[i] = f.Format(e.syms)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// statsJSON is the wire form of eval.Stats plus the request's resolved
+// versions.
+type statsJSON struct {
+	Rounds             int `json:"rounds"`
+	Firings            int `json:"firings"`
+	Added              int `json:"added"`
+	PrepareHits        int `json:"prepare_hits"`
+	PrepareMisses      int `json:"prepare_misses"`
+	VerdictsReused     int `json:"verdicts_reused"`
+	VerdictsRecomputed int `json:"verdicts_recomputed"`
+	VerdictsSubsumed   int `json:"verdicts_subsumed"`
+	StrataStreamed     int `json:"strata_streamed"`
+	StrataMaterialized int `json:"strata_materialized"`
+	BindingsPipelined  int `json:"bindings_pipelined"`
+	EarlyStopCuts      int `json:"early_stop_cuts"`
+}
+
+func toStatsJSON(st eval.Stats) statsJSON {
+	return statsJSON{
+		Rounds:             st.Rounds,
+		Firings:            st.Firings,
+		Added:              st.Added,
+		PrepareHits:        st.PrepareHits,
+		PrepareMisses:      st.PrepareMisses,
+		VerdictsReused:     st.VerdictsReused,
+		VerdictsRecomputed: st.VerdictsRecomputed,
+		VerdictsSubsumed:   st.VerdictsSubsumed,
+		StrataStreamed:     st.StrataStreamed,
+		StrataMaterialized: st.StrataMaterialized,
+		BindingsPipelined:  st.BindingsPipelined,
+		EarlyStopCuts:      st.EarlyStopCuts,
+	}
+}
+
+// RequestError is a typed service error carrying the HTTP status and a
+// stable machine-readable code.
+type RequestError struct {
+	Status int
+	Code   string
+	Err    error
+}
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+func errUnknownProgram(name string) error {
+	return &RequestError{Status: 404, Code: "unknown_program",
+		Err: fmt.Errorf("service: no program named %q", name)}
+}

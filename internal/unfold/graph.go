@@ -31,10 +31,43 @@ const (
 // leafChild marks an intentional position kept unexpanded (Partial only).
 const leafChild = int32(-1)
 
-// unode is one unfolded rule, keyed by its canonical form.
-type unode struct {
-	rule ast.Rule // canonical representative: renamed + body-sorted
+// nodeData is the immutable identity of one unfolded rule: its canonical
+// representative (renamed + body-sorted) and the canonical key. It lives in
+// the lineage's shared arena and never changes after interning.
+type nodeData struct {
+	rule ast.Rule
 	key  string
+}
+
+// arena is the intern table shared by every graph of one Derive lineage:
+// node ids are content addresses (canonical rule → id) that stay stable
+// across patches, so cloneFor hands the arena to the derived graph instead
+// of re-copying every node and rebuilding the key map. The arena is
+// append-only — sibling graphs derived from one parent may each intern new
+// nodes into it, and an id minted by one sibling is a valid (if so far
+// unused) address in the other. Like the sessions that own it, an arena is
+// not safe for concurrent use.
+type arena struct {
+	nodes []nodeData
+	byKey map[string]int32
+}
+
+func newArena() *arena { return &arena{byKey: make(map[string]int32)} }
+
+// intern returns the id of r's canonical form, appending it if new.
+func (a *arena) intern(r ast.Rule) int32 {
+	canon, key := canonicalize(r)
+	if id, ok := a.byKey[key]; ok {
+		return id
+	}
+	id := int32(len(a.nodes))
+	a.nodes = append(a.nodes, nodeData{rule: canon, key: key})
+	a.byKey[key] = id
+	return id
+}
+
+// nodeState is the per-graph mutable state of one arena node.
+type nodeState struct {
 	// height is the node's availability layer in the most recent build or
 	// patch run; 0 means not derivable within the depth bound.
 	height int32
@@ -63,8 +96,11 @@ type graph struct {
 	src      *ast.Program
 	depth    int
 	maxRules int
-	nodes    []*unode
-	byKey    map[string]int32
+	// ar is the lineage-shared intern arena; state holds this graph's view
+	// of each arena node (indexed by node id, grown lazily to cover ids a
+	// sibling graph interned).
+	ar       *arena
+	state    []nodeState
 	edges    []*uedge
 	edgeSeen map[string]struct{}
 }
@@ -75,31 +111,43 @@ func newGraph(p *ast.Program, depth, maxRules, kind int) *graph {
 		src:      p.Clone(),
 		depth:    depth,
 		maxRules: maxRules,
-		byKey:    make(map[string]int32),
+		ar:       newArena(),
 		edgeSeen: make(map[string]struct{}),
 	}
 }
 
-// cloneFor copies the graph for a patch run against the new program,
+// st returns the graph's state cell for id, growing the state slice when a
+// sibling graph has interned nodes this graph has not yet observed. The
+// returned pointer is invalidated by the next growth — use it immediately.
+func (g *graph) st(id int32) *nodeState {
+	if int(id) >= len(g.state) {
+		grown := make([]nodeState, len(g.ar.nodes))
+		copy(grown, g.state)
+		g.state = grown
+	}
+	return &g.state[id]
+}
+
+// cloneFor derives the graph for a patch run against the new program,
 // dropping every edge rooted at the replaced rule and resetting the
 // per-run node state (heights, frontier marks) while keeping coverage.
+// The intern arena is shared, not copied: node identity is content-
+// addressed, so the derived graph only needs a fresh state slice — one
+// memcopy of plain structs instead of per-node allocations and a rebuilt
+// string-keyed map.
 func (g *graph) cloneFor(np *ast.Program, dropRoot int) *graph {
 	ng := &graph{
 		kind:     g.kind,
 		src:      np,
 		depth:    g.depth,
 		maxRules: g.maxRules,
-		nodes:    make([]*unode, len(g.nodes)),
-		byKey:    make(map[string]int32, len(g.nodes)),
+		ar:       g.ar,
+		state:    make([]nodeState, len(g.state)),
 		edges:    make([]*uedge, 0, len(g.edges)),
 		edgeSeen: make(map[string]struct{}, len(g.edges)),
 	}
-	for i, n := range g.nodes {
-		cp := *n
-		cp.height = 0
-		cp.nd = false
-		ng.nodes[i] = &cp
-		ng.byKey[cp.key] = int32(i)
+	for i, st := range g.state {
+		ng.state[i] = nodeState{covered: st.covered}
 	}
 	for _, e := range g.edges {
 		if int(e.root) == dropRoot {
@@ -195,15 +243,11 @@ func (rs *runState) countIDB(r ast.Rule) int {
 	return n
 }
 
-// intern returns the node id for r's canonical form, creating it if new.
+// intern returns the node id for r's canonical form, creating it in the
+// shared arena if new and ensuring this graph's state covers it.
 func (rs *runState) intern(r ast.Rule) int32 {
-	canon, key := canonicalize(r)
-	if id, ok := rs.g.byKey[key]; ok {
-		return id
-	}
-	id := int32(len(rs.g.nodes))
-	rs.g.nodes = append(rs.g.nodes, &unode{rule: canon, key: key})
-	rs.g.byKey[key] = id
+	id := rs.g.ar.intern(r)
+	rs.g.st(id)
 	return id
 }
 
@@ -220,13 +264,14 @@ func (rs *runState) record(root int32, children []int32, result int32) {
 // markAvail makes the node available at the given layer (idempotent: the
 // first, lowest layer wins).
 func (rs *runState) markAvail(id int32, layer int32) {
-	n := rs.g.nodes[id]
-	if n.height != 0 {
+	st := rs.g.st(id)
+	if st.height != 0 {
 		return
 	}
-	n.height = layer
-	n.nd = !n.covered
-	rs.byPred[n.rule.Head.Pred] = append(rs.byPred[n.rule.Head.Pred], id)
+	st.height = layer
+	st.nd = !st.covered
+	pred := rs.g.ar.nodes[id].rule.Head.Pred
+	rs.byPred[pred] = append(rs.byPred[pred], id)
 	rs.perLayer[layer]++
 	rs.avail++
 	if rs.avail > rs.g.maxRules {
@@ -248,11 +293,13 @@ type candClass struct {
 func (rs *runState) filter(pred string, lo, hi int32, ndOnly int) []int32 {
 	var out []int32
 	for _, id := range rs.byPred[pred] {
-		n := rs.g.nodes[id]
-		if n.height < lo || n.height > hi {
+		// markAvail grew the state slice past every id it recorded, so the
+		// direct index is in range.
+		st := &rs.g.state[id]
+		if st.height < lo || st.height > hi {
 			continue
 		}
-		if ndOnly > 0 && !n.nd || ndOnly < 0 && n.nd {
+		if ndOnly > 0 && !st.nd || ndOnly < 0 && st.nd {
 			continue
 		}
 		out = append(out, id)
@@ -378,7 +425,7 @@ func (rs *runState) expand(root int32, r ast.Rule, d int32, classes []candClass)
 		}
 		atom := cur.Body[i]
 		for _, cid := range cls.ids {
-			cand := rs.g.nodes[cid].rule
+			cand := rs.g.ar.nodes[cid].rule
 			rs.counter++
 			tag := rs.counter
 			fresh := cand.Rename(func(v string) string {
@@ -412,23 +459,25 @@ func (rs *runState) expand(root int32, r ast.Rule, d int32, classes []candClass)
 // patched, only rebuilt.
 func (rs *runState) finish() Result {
 	g := rs.g
-	var avail []*unode
-	for _, n := range g.nodes {
-		if n.height > 0 {
-			avail = append(avail, n)
+	var avail []int32
+	for id := range g.state {
+		st := &g.state[id]
+		if st.height > 0 {
+			avail = append(avail, int32(id))
 		}
-		n.covered = n.height > 0 && int(n.height) <= g.depth-1
-		n.nd = false
+		st.covered = st.height > 0 && int(st.height) <= g.depth-1
+		st.nd = false
 	}
 	sort.Slice(avail, func(i, j int) bool {
-		if avail[i].rule.Head.Pred != avail[j].rule.Head.Pred {
-			return avail[i].rule.Head.Pred < avail[j].rule.Head.Pred
+		ni, nj := &g.ar.nodes[avail[i]], &g.ar.nodes[avail[j]]
+		if ni.rule.Head.Pred != nj.rule.Head.Pred {
+			return ni.rule.Head.Pred < nj.rule.Head.Pred
 		}
-		return avail[i].key < avail[j].key
+		return ni.key < nj.key
 	})
 	out := ast.NewProgram()
-	for _, n := range avail {
-		out.Rules = append(out.Rules, n.rule.Clone())
+	for _, id := range avail {
+		out.Rules = append(out.Rules, g.ar.nodes[id].rule.Clone())
 	}
 	if rs.overCap {
 		return Result{Program: out, Complete: false}

@@ -1,0 +1,65 @@
+package unfold
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// TestPatchSharesArena pins the arena contract: a Derive lineage shares one
+// intern table, so a patched graph re-uses the parent's node ids (no per-node
+// copying, no rebuilt key map) and sibling graphs interning the same rule get
+// the same id.
+func TestPatchSharesArena(t *testing.T) {
+	src := `
+		T(x,y) :- E(x,y).
+		T(x,z) :- E(x,y), T(y,z), L(x).
+	`
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := ToDepth(p, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Patchable() {
+		t.Fatal("complete unfolding not patchable")
+	}
+
+	// Same-head weakening of the recursive rule: drop the L atom.
+	nr := p.Rules[1].WithoutBodyAtom(2)
+	patched, err := orig.Patch(1, nr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.g.ar != orig.g.ar {
+		t.Fatal("Patch did not share the intern arena with its parent")
+	}
+	if len(patched.g.state) < len(orig.g.state) {
+		t.Fatalf("patched state (%d cells) does not cover parent nodes (%d)", len(patched.g.state), len(orig.g.state))
+	}
+
+	// Sibling patches from the same parent intern into the same arena;
+	// content addressing gives both the same id for the same canonical rule.
+	sib, err := orig.Patch(1, nr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sib.g.ar != orig.g.ar {
+		t.Fatal("sibling patch did not share the arena")
+	}
+	if len(sib.g.ar.nodes) != len(patched.g.ar.nodes) {
+		t.Fatalf("sibling interning duplicated nodes: %d vs %d", len(sib.g.ar.nodes), len(patched.g.ar.nodes))
+	}
+
+	// Coverage survives the share: the parent still patches independently
+	// and produces the same bytes as a fresh unfolding of the new program.
+	fresh, err := ToDepth(p.ReplaceRule(1, nr), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := patched.Program.String(), fresh.Program.String(); got != want {
+		t.Fatalf("patched program diverged from fresh unfolding:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

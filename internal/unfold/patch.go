@@ -56,7 +56,7 @@ func (res Result) Patch(ruleIdx int, newRule ast.Rule) (Result, error) {
 	activate := func(d int32) {
 		kept := pending[:0]
 		for _, e := range pending {
-			if ng.nodes[e.result].height != 0 {
+			if ng.st(e.result).height != 0 {
 				continue // result already reached at a lower layer
 			}
 			ready := true
@@ -64,7 +64,7 @@ func (res Result) Patch(ruleIdx int, newRule ast.Rule) (Result, error) {
 				if c == leafChild {
 					continue
 				}
-				h := ng.nodes[c].height
+				h := ng.st(c).height
 				if h == 0 || h > d-1 {
 					ready = false
 					break
