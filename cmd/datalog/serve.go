@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/service"
 )
@@ -37,5 +38,15 @@ func (c *cli) cmdServe(rest []string) error {
 		return err
 	}
 	fmt.Fprintf(c.out, "datalog serve: listening on http://%s\n", ln.Addr())
-	return http.Serve(ln, srv.Handler())
+	// Header-read and idle timeouts bound what a slow or stalled client can
+	// hold open, so a long-running multi-tenant deployment is not trivially
+	// exhaustible by slowloris-style connections. Request bodies and
+	// responses carry no blanket timeout: evaluation time is governed
+	// per-request by the budget's deadline.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.Serve(ln)
 }

@@ -108,6 +108,16 @@ func (sv *Service) Len() int {
 	return len(sv.sessions)
 }
 
+// PlanCacheStats reports the counters of the plan cache this service's
+// sessions actually prepare through: the cache injected at construction, or
+// the process-wide default when none was.
+func (sv *Service) PlanCacheStats() eval.CacheStats {
+	if sv.cache != nil {
+		return sv.cache.Stats()
+	}
+	return eval.DefaultPlanCache.Stats()
+}
+
 // Session is a long-lived handle over one program version: the prepared
 // evaluation plan plus lazily built containment and preservation sessions.
 // See the file comment for the concurrency contract.
@@ -118,11 +128,12 @@ type Session struct {
 
 	mu sync.Mutex // serializes the single-threaded checker/preserve state
 	ck *ContainmentChecker
-	// ckLast is the checker's cumulative counters at the last accounting,
-	// so each request folds only its own delta into the totals. Guarded by
-	// s.mu like the checker itself.
+	// ckLast / psLast are the checker's and preserve session's cumulative
+	// counters at the last accounting, so each request folds only its own
+	// delta into the totals. Guarded by s.mu like the sessions themselves.
 	ckLast EvalStats
 	ps     *PreserveSession
+	psLast EvalStats
 
 	statsMu sync.Mutex
 	total   EvalStats
@@ -273,7 +284,9 @@ func (s *Session) Preserve(ctx context.Context, tgds []TGD, opts PreserveOptions
 		return Unknown, nil, err
 	}
 	opts.Context = ctx
-	return ps.Check(tgds, opts)
+	v, cex, err := ps.Check(tgds, opts)
+	s.accountPreserve(ps)
+	return v, cex, err
 }
 
 // PreservePreliminary decides condition (3′) of Section X for the session
@@ -286,29 +299,44 @@ func (s *Session) PreservePreliminary(ctx context.Context, tgds []TGD, opts Pres
 		return Unknown, nil, err
 	}
 	opts.Context = ctx
-	return ps.CheckPreliminary(tgds, opts)
+	v, cex, err := ps.CheckPreliminary(tgds, opts)
+	s.accountPreserve(ps)
+	return v, cex, err
 }
 
 // accountChecker folds the checker's counters accumulated since the last
 // accounting into the session totals; the caller holds s.mu.
 func (s *Session) accountChecker(ck *ContainmentChecker) {
 	cur := ck.Stats()
-	d := EvalStats{
-		Rounds:             cur.Rounds - s.ckLast.Rounds,
-		Firings:            cur.Firings - s.ckLast.Firings,
-		Added:              cur.Added - s.ckLast.Added,
-		PrepareHits:        cur.PrepareHits - s.ckLast.PrepareHits,
-		PrepareMisses:      cur.PrepareMisses - s.ckLast.PrepareMisses,
-		VerdictsReused:     cur.VerdictsReused - s.ckLast.VerdictsReused,
-		VerdictsRecomputed: cur.VerdictsRecomputed - s.ckLast.VerdictsRecomputed,
-		VerdictsSubsumed:   cur.VerdictsSubsumed - s.ckLast.VerdictsSubsumed,
-		StrataStreamed:     cur.StrataStreamed - s.ckLast.StrataStreamed,
-		StrataMaterialized: cur.StrataMaterialized - s.ckLast.StrataMaterialized,
-		BindingsPipelined:  cur.BindingsPipelined - s.ckLast.BindingsPipelined,
-		EarlyStopCuts:      cur.EarlyStopCuts - s.ckLast.EarlyStopCuts,
-	}
+	s.account(statsDelta(cur, s.ckLast))
 	s.ckLast = cur
-	s.account(d)
+}
+
+// accountPreserve folds the preserve session's counters accumulated since
+// the last accounting into the session totals; the caller holds s.mu.
+func (s *Session) accountPreserve(ps *PreserveSession) {
+	cur := ps.Stats()
+	s.account(statsDelta(cur, s.psLast))
+	s.psLast = cur
+}
+
+// statsDelta returns the field-wise difference cur − last of two cumulative
+// counter snapshots.
+func statsDelta(cur, last EvalStats) EvalStats {
+	return EvalStats{
+		Rounds:             cur.Rounds - last.Rounds,
+		Firings:            cur.Firings - last.Firings,
+		Added:              cur.Added - last.Added,
+		PrepareHits:        cur.PrepareHits - last.PrepareHits,
+		PrepareMisses:      cur.PrepareMisses - last.PrepareMisses,
+		VerdictsReused:     cur.VerdictsReused - last.VerdictsReused,
+		VerdictsRecomputed: cur.VerdictsRecomputed - last.VerdictsRecomputed,
+		VerdictsSubsumed:   cur.VerdictsSubsumed - last.VerdictsSubsumed,
+		StrataStreamed:     cur.StrataStreamed - last.StrataStreamed,
+		StrataMaterialized: cur.StrataMaterialized - last.StrataMaterialized,
+		BindingsPipelined:  cur.BindingsPipelined - last.BindingsPipelined,
+		EarlyStopCuts:      cur.EarlyStopCuts - last.EarlyStopCuts,
+	}
 }
 
 // account folds one request's stats into the session totals.

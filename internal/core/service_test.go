@@ -209,6 +209,51 @@ func TestSessionDeadlineTypedErrors(t *testing.T) {
 	}
 }
 
+// TestSessionStatsAccountPreserve pins the accounting contract of the
+// preservation verbs: Preserve and PreservePreliminary fold their chase
+// rounds and plan-cache lookups into Session.Stats() like every other
+// session verb, so session totals do not undercount preservation work.
+func TestSessionStatsAccountPreserve(t *testing.T) {
+	prog, err := core.ParseProgram("T(x,y) :- E(x,y).\nT(x,z) :- E(x,y), T(y,z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgd, err := core.ParseTGD("T(x,y), T(y,z) -> T(x,z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before, evalsBefore := sess.Stats()
+	if _, _, err := sess.Preserve(context.Background(), []core.TGD{tgd}, core.PreserveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	mid, evalsMid := sess.Stats()
+	if evalsMid != evalsBefore+1 {
+		t.Fatalf("Preserve accounted %d requests, want 1", evalsMid-evalsBefore)
+	}
+	if mid.Rounds <= before.Rounds {
+		t.Fatalf("Preserve accounted no chase rounds: %d -> %d", before.Rounds, mid.Rounds)
+	}
+	if mid.PrepareHits+mid.PrepareMisses <= before.PrepareHits+before.PrepareMisses {
+		t.Fatal("Preserve accounted no plan-cache lookups")
+	}
+
+	if _, _, err := sess.PreservePreliminary(context.Background(), []core.TGD{tgd}, core.PreserveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after, evalsAfter := sess.Stats()
+	if evalsAfter != evalsMid+1 {
+		t.Fatalf("PreservePreliminary accounted %d requests, want 1", evalsAfter-evalsMid)
+	}
+	if after.Rounds <= mid.Rounds {
+		t.Fatalf("PreservePreliminary accounted no chase rounds: %d -> %d", mid.Rounds, after.Rounds)
+	}
+}
+
 // TestServiceOpenDedups pins content-addressed session sharing: opening an
 // alpha-renamed copy returns the same session.
 func TestServiceOpenDedups(t *testing.T) {

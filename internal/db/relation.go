@@ -21,7 +21,10 @@ import (
 // boundaries (EnsureIndex, driven by eval's freeze step) or lazily under mu
 // when a probe's round window can actually see unindexed tuples. During a
 // parallel evaluation round the freeze step guarantees every index a probe
-// will touch is complete, so probes never take the lock.
+// will touch is complete, so probes never take the lock. On a shared
+// relation a published index is never mutated: lazy extension clones it and
+// republishes the index set (copy-on-extend), so concurrent snapshot
+// readers can keep probing the old copy lock-free.
 type Relation struct {
 	arity  int
 	data   []ast.Const // arena: tuple i at [i*arity : (i+1)*arity]
@@ -411,6 +414,7 @@ func (r *Relation) ensureIndexLocked(mask uint64, cols []int) *colIndex {
 		cc := make([]int, len(cols))
 		copy(cc, cols)
 		ix = &colIndex{cols: cc}
+		ix.extend(r)
 		ns := &indexSet{}
 		if set != nil {
 			ns.masks = append(ns.masks, set.masks...)
@@ -418,9 +422,32 @@ func (r *Relation) ensureIndexLocked(mask uint64, cols []int) *colIndex {
 		}
 		ns.masks = append(ns.masks, mask)
 		ns.idxs = append(ns.idxs, ix)
-		ix.extend(r)
 		r.indexes.Store(ns)
 		return ix
+	}
+	if ix.built == len(r.rounds) {
+		return ix
+	}
+	if r.shared {
+		// Copy-on-extend: a published index on a shared relation is probed
+		// lock-free by any number of snapshot readers, so it must stay
+		// immutable. Extend a private clone and republish the index set;
+		// readers holding the old set keep a consistent (merely shorter)
+		// view, and the relation never grows again once shared, so this
+		// happens at most once per stale index.
+		nix := ix.clone()
+		nix.extend(r)
+		ns := &indexSet{
+			masks: append([]uint64(nil), set.masks...),
+			idxs:  append([]*colIndex(nil), set.idxs...),
+		}
+		for i, m := range ns.masks {
+			if m == mask {
+				ns.idxs[i] = nix
+			}
+		}
+		r.indexes.Store(ns)
+		return nix
 	}
 	ix.extend(r)
 	return ix

@@ -8,9 +8,10 @@ package db
 // Clone a map-copy of shared relation pointers. Shared relations never grow
 // (AddTuple copies a relation before its first write), so the lock-free
 // index probes of the evaluation hot path stay valid for every reader, and
-// EnsureIndex on a shared relation is safe by the existing mutex + atomic
-// index-set publication — readers of one snapshot even share lazily built
-// warm indexes.
+// index building on a shared relation never mutates published state: new
+// and extended indexes are built privately under the relation mutex and
+// published atomically (copy-on-extend) — readers of one snapshot even
+// share lazily built warm indexes.
 //
 // Concurrency contract: Freeze must happen-before the snapshot is shared
 // with other goroutines (publish it through a channel, mutex, or atomic —
@@ -28,10 +29,19 @@ type Snapshot struct {
 // is marked shared, so all subsequent Clone/Thaw copies are shallow: they
 // share relation storage until a write to a specific predicate copies that
 // one relation. Mutating d after Freeze panics.
+//
+// Relations already marked shared are inherited from a frozen predecessor
+// and skipped: readers of the older snapshot read r.shared concurrently
+// (Clone, AddTuple), so re-writing even the same value would be a data
+// race. Unshared relations are still private to this staging database, so
+// marking them here is race-free, and the publication of the returned
+// snapshot carries the happens-before edge readers need.
 func (d *Database) Freeze() *Snapshot {
 	d.frozen = true
 	for _, r := range d.rels {
-		r.shared = true
+		if !r.shared {
+			r.shared = true
+		}
 	}
 	return &Snapshot{d: d}
 }

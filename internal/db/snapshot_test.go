@@ -17,6 +17,56 @@ func snapDB(n int) *Database {
 	return d
 }
 
+// TestFrozenStaleIndexConcurrentProbes freezes a database whose index was
+// built before the last inserts, so the shared relation carries a stale
+// index (built < Len) at share time. The first probes race to extend it;
+// copy-on-extend must keep every concurrent lock-free reader on a
+// consistent index copy (the race detector flags the old in-place path).
+func TestFrozenStaleIndexConcurrentProbes(t *testing.T) {
+	const total, keys = 20000, 8
+	d := New()
+	for i := 0; i < 64; i++ {
+		d.AddTuple("E", []ast.Const{ast.Int(int64(i % keys)), ast.Int(int64(i))})
+	}
+	// Build the index, then grow the relation far past it, so the first
+	// post-freeze extension is slow enough for probes to overlap it.
+	d.EnsureIndex("E", []int{0})
+	for i := 64; i < total; i++ {
+		d.AddTuple("E", []ast.Const{ast.Int(int64(i % keys)), ast.Int(int64(i))})
+	}
+	s := d.Freeze()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rel := s.DB().Relation("E")
+			for iter := 0; iter < 20; iter++ {
+				got := 0
+				it := rel.ProbeIter([]int{0}, []ast.Const{ast.Int(int64(g % keys))}, s.DB().Round())
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+					got++
+				}
+				if got != total/keys {
+					panic(fmt.Sprintf("probe saw %d tuples for key %d, want %d", got, g%keys, total/keys))
+				}
+				// A second column set exercises fresh-index creation on the
+				// shared relation concurrently with copy-on-extend.
+				p := rel.Prober([]int{1}, s.DB().Round())
+				pit := p.Seek([]ast.Const{ast.Int(int64(iter))})
+				if _, ok := pit.Next(); !ok {
+					panic(fmt.Sprintf("probe lost tuple with second column %d", iter))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 func TestFreezeMakesDatabaseImmutable(t *testing.T) {
 	d := snapDB(4)
 	s := d.Freeze()

@@ -33,22 +33,23 @@ func (s *Session) Derive(ruleIdx int, newRule *ast.Rule) (*Session, error) {
 	}
 	old := s.p.Rules[ruleIdx]
 	if newRule == nil {
-		return NewSessionCache(s.p.WithoutRule(ruleIdx), s.cache)
+		return s.adopt(NewSessionCache(s.p.WithoutRule(ruleIdx), s.cache))
 	}
 	if err := newRule.Validate(); err != nil {
 		return nil, err
 	}
 	if newRule.Head.Pred != old.Head.Pred || newRule.HasNegation() {
-		return NewSessionCache(s.p.ReplaceRule(ruleIdx, *newRule), s.cache)
+		return s.adopt(NewSessionCache(s.p.ReplaceRule(ruleIdx, *newRule), s.cache))
 	}
 
 	np := s.p.ReplaceRule(ruleIdx, *newRule)
-	prep, _, err := s.cache.GetOrBuild(np, eval.Options{}, func() (*eval.Prepared, error) {
+	prep, hit, err := s.cache.GetOrBuild(np, eval.Options{}, func() (*eval.Prepared, error) {
 		return s.prep.Derive(ruleIdx, newRule)
 	})
 	if err != nil {
 		return nil, err
 	}
+	s.countPrepare(hit)
 	ns := &Session{
 		p:       prep.Program(),
 		prep:    prep,
@@ -56,6 +57,7 @@ func (s *Session) Derive(ruleIdx int, newRule *ast.Rule) (*Session, error) {
 		cache:   s.cache,
 		prelim:  make(map[int]*depthEntry),
 		partial: make(map[int]*depthEntry),
+		stats:   s.stats, // shared: the lineage is one session
 	}
 	if s.opts != nil {
 		ns.opts = transferOptions(s.opts, ns.p, ns.idb, old.Head.Pred)
@@ -84,6 +86,20 @@ func (s *Session) Derive(ruleIdx int, newRule *ast.Rule) (*Session, error) {
 	return ns, nil
 }
 
+// adopt folds a from-scratch fallback session into the receiver's Derive
+// lineage: the counters it accumulated while being built (its prepare
+// lookup) move into the shared stats block, which the new session then
+// shares like a delta-patched one.
+func (s *Session) adopt(ns *Session, err error) (*Session, error) {
+	if err != nil {
+		return nil, err
+	}
+	s.stats.PrepareHits += ns.stats.PrepareHits
+	s.stats.PrepareMisses += ns.stats.PrepareMisses
+	ns.stats = s.stats
+	return ns, nil
+}
+
 // patchEntry carries one depth-k entry across the delta by patching its
 // retained unfolding hypergraph. ok=false drops the entry, deferring to a
 // lazy from-scratch rebuild on next use — correctness never depends on a
@@ -96,10 +112,11 @@ func (s *Session) patchEntry(e *depthEntry, ruleIdx int, newRule ast.Rule, parti
 	if err != nil {
 		return nil, false
 	}
-	prep, err := s.cache.Prepare(pres.Program, eval.Options{})
+	prep, hit, err := s.cache.PrepareHit(pres.Program, eval.Options{})
 	if err != nil {
 		return nil, false
 	}
+	s.countPrepare(hit)
 	ne := &depthEntry{prep: prep, complete: pres.Complete, res: pres}
 	if partial {
 		ne.idb = pres.Program.IDBPredicates()

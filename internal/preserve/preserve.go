@@ -45,6 +45,12 @@ type Session struct {
 
 	prelim  map[int]*depthEntry // CheckPreliminary entries, by depth
 	partial map[int]*depthEntry // Check (depth ≥ 2) entries, by depth
+
+	// stats is shared across the whole Derive lineage (one session, many
+	// derived variants), mirroring chase.Checker: plan-cache hits/misses
+	// observed preparing the base program and depth entries, plus the chase
+	// rounds run and facts derived by combination checks.
+	stats *eval.Stats
 }
 
 // depthEntry is one prepared depth-k variant: the (unfolded or
@@ -77,19 +83,38 @@ func NewSessionCache(p *ast.Program, cache *eval.PlanCache) (*Session, error) {
 	if cache == nil {
 		cache = eval.DefaultPlanCache
 	}
-	prep, err := cache.Prepare(p, eval.Options{})
+	prep, hit, err := cache.PrepareHit(p, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		p:       prep.Program(),
 		prep:    prep,
 		idb:     p.IDBPredicates(),
 		cache:   cache,
 		prelim:  make(map[int]*depthEntry),
 		partial: make(map[int]*depthEntry),
-	}, nil
+		stats:   &eval.Stats{},
+	}
+	s.countPrepare(hit)
+	return s, nil
 }
+
+// countPrepare records one plan-cache lookup made on the session's behalf.
+func (s *Session) countPrepare(hit bool) {
+	if hit {
+		s.stats.PrepareHits++
+	} else {
+		s.stats.PrepareMisses++
+	}
+}
+
+// Stats reports the session's accumulated counters: plan-cache lookups made
+// preparing the program and its depth-k variants, and the chase rounds and
+// derived facts of every combination check. Derived Sessions share their
+// parent's counters, so the totals describe the whole session lineage. Not
+// safe to call concurrently with a running check.
+func (s *Session) Stats() eval.Stats { return *s.stats }
 
 // Program returns the session's program.
 func (s *Session) Program() *ast.Program { return s.p }
@@ -167,7 +192,7 @@ func (s *Session) Check(tgds []ast.TGD, opts Options) (chase.Verdict, *Counterex
 		if err := eval.CtxErr(opts.Context); err != nil {
 			return chase.Unknown, nil, err
 		}
-		v, cex, err := checkTGD(opts.Context, prep, idb, tgds, tau, opts.Budget, combo)
+		v, cex, err := checkTGD(opts.Context, prep, idb, tgds, tau, opts.Budget, combo, s.stats)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
@@ -220,7 +245,7 @@ func (s *Session) CheckPreliminary(tgds []ast.TGD, opts Options) (chase.Verdict,
 		if err := eval.CtxErr(opts.Context); err != nil {
 			return chase.Unknown, nil, err
 		}
-		v, cex, err := checkTGDOnce(opts.Context, e.prep, e.idb, tau, e.opts)
+		v, cex, err := checkTGDOnce(opts.Context, e.prep, e.idb, tau, e.opts, s.stats)
 		if err != nil {
 			return chase.Unknown, nil, err
 		}
@@ -257,10 +282,11 @@ func (s *Session) prelimEntry(depth int) (*depthEntry, error) {
 		init = res.Program
 		complete = res.Complete
 	}
-	prep, err := s.cache.Prepare(init, eval.Options{})
+	prep, hit, err := s.cache.PrepareHit(init, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
+	s.countPrepare(hit)
 	e := &depthEntry{prep: prep, idb: s.idb, opts: prelimOptions(init), complete: complete, res: res}
 	s.prelim[depth] = e
 	return e, nil
@@ -288,10 +314,11 @@ func (s *Session) partialEntry(depth int) (*depthEntry, error) {
 		return nil, err
 	}
 	q := res.Program
-	prep, err := s.cache.Prepare(q, eval.Options{})
+	prep, hit, err := s.cache.PrepareHit(q, eval.Options{})
 	if err != nil {
 		return nil, err
 	}
+	s.countPrepare(hit)
 	idb := q.IDBPredicates()
 	e := &depthEntry{prep: prep, idb: idb, opts: combinationOptions(q, idb), complete: res.Complete, res: res}
 	s.partial[depth] = e
@@ -320,13 +347,13 @@ func combinationOptions(p *ast.Program, idb map[string]bool) map[string][]option
 
 // checkTGD enumerates all combinations for tau against the prepared
 // program and runs the interleaved chase-and-check loop on each.
-func checkTGD(ctx context.Context, prep *eval.Prepared, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, budget chase.Budget, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+func checkTGD(ctx context.Context, prep *eval.Prepared, idb map[string]bool, tgds []ast.TGD, tau ast.TGD, budget chase.Budget, opts map[string][]option, st *eval.Stats) (chase.Verdict, *Counterexample, error) {
 	sawUnknown := false
 	err := forEachCombination(idb, tau, opts, func(c *combination) error {
 		if err := eval.CtxErr(ctx); err != nil {
 			return err
 		}
-		v, cex := runCombination(prep, tgds, tau, c, budget, true)
+		v, cex := runCombination(prep, tgds, tau, c, budget, true, st)
 		switch v {
 		case chase.No:
 			return &foundViolation{cex}
@@ -350,12 +377,12 @@ func checkTGD(ctx context.Context, prep *eval.Prepared, idb map[string]bool, tgd
 
 // checkTGDOnce is the preliminary-DB variant: no tgd application to d, so a
 // single Pⁿ(d) check decides each combination.
-func checkTGDOnce(ctx context.Context, init *eval.Prepared, idb map[string]bool, tau ast.TGD, opts map[string][]option) (chase.Verdict, *Counterexample, error) {
+func checkTGDOnce(ctx context.Context, init *eval.Prepared, idb map[string]bool, tau ast.TGD, opts map[string][]option, st *eval.Stats) (chase.Verdict, *Counterexample, error) {
 	err := forEachCombination(idb, tau, opts, func(c *combination) error {
 		if err := eval.CtxErr(ctx); err != nil {
 			return err
 		}
-		v, cex := runCombination(init, nil, tau, c, chase.Budget{MaxAtoms: 1 << 30, MaxRounds: 1}, false)
+		v, cex := runCombination(init, nil, tau, c, chase.Budget{MaxAtoms: 1 << 30, MaxRounds: 1}, false, st)
 		if v == chase.No {
 			return &foundViolation{cex}
 		}
@@ -530,21 +557,24 @@ func visitCombination(tau ast.TGD, intAtoms, extAtoms []ast.Atom, opts map[strin
 // d ∈ SAT(T)) and re-check; conclude a genuine violation only when d has
 // reached its T-fixpoint. With chaseD=false (the preliminary-DB variant) no
 // tgds are applied and the first check decides.
-func runCombination(prep *eval.Prepared, tgds []ast.TGD, tau ast.TGD, c *combination, budget chase.Budget, chaseD bool) (chase.Verdict, *Counterexample) {
+func runCombination(prep *eval.Prepared, tgds []ast.TGD, tau ast.TGD, c *combination, budget chase.Budget, chaseD bool, st *eval.Stats) (chase.Verdict, *Counterexample) {
 	budget = normalize(budget)
 	_, maxNull := c.d.MaxGeneratedIndexes()
 	nullGen := ast.NewNullGen(maxNull + 1)
 	d := c.d
 	for round := 0; round < budget.MaxRounds; round++ {
+		st.Rounds++
 		full := d.Clone()
-		full.AddAll(prep.NonRecursive(d))
+		st.Added += full.AddAll(prep.NonRecursive(d))
 		if db.Satisfiable(full, c.rhs, c.theta) {
 			return chase.Yes, nil
 		}
 		if !chaseD {
 			return chase.No, &Counterexample{TGD: tau, DB: d.Clone(), LHS: c.lhs}
 		}
-		if added := chase.ApplyTGDRound(tgds, d, nullGen); added == 0 {
+		added := chase.ApplyTGDRound(tgds, d, nullGen)
+		st.Added += added
+		if added == 0 {
 			return chase.No, &Counterexample{TGD: tau, DB: d.Clone(), LHS: c.lhs}
 		}
 		if d.Len() > budget.MaxAtoms {

@@ -394,11 +394,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, 200, resp)
 }
 
-// handleStatz surfaces the process-wide plan-cache and verdict-store
-// counters plus the server's request counters — all read race-free.
+// handleStatz surfaces the plan cache the server's sessions prepare through
+// (injected or process-wide), the process-wide verdict store, and the
+// server's request counters — all read race-free.
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	pc := core.PlanCacheStats()
+	pc := s.svc.PlanCacheStats()
 	vs := core.VerdictStats()
 	s.mu.RLock()
 	nprogs := len(s.programs)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/ast"
+	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/eval"
 	"repro/internal/parser"
@@ -372,6 +373,45 @@ func TestServeBudgetAndDeadline(t *testing.T) {
 	}
 	if rows := respRows(t, resp); len(rows) != 220 {
 		t.Fatalf("clean eval rows = %d, want 220", len(rows))
+	}
+}
+
+// TestStatzReportsInjectedCache pins /statz to the plan cache the server's
+// sessions actually prepare through: a server constructed over an injected
+// cache must report that cache's counters, not the process-wide default's.
+func TestStatzReportsInjectedCache(t *testing.T) {
+	cache := core.NewPlanCache(16)
+	s := New(core.SessionOptions{PlanCache: cache})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, resp := post(t, ts, "/v1/programs/authz", map[string]any{"source": authzProgram}); code != 200 {
+		t.Fatalf("register: %d %v", code, resp)
+	}
+	if code, resp := post(t, ts, "/v1/programs/authz/facts", map[string]any{"tenant": "acme", "facts": tenantAFacts}); code != 200 {
+		t.Fatalf("facts: %d %v", code, resp)
+	}
+	if code, resp := post(t, ts, "/v1/programs/authz/minimize", map[string]any{}); code != 200 {
+		t.Fatalf("minimize: %d %v", code, resp)
+	}
+
+	want := cache.Stats()
+	if want.Entries == 0 || want.Misses == 0 {
+		t.Fatalf("injected cache saw no traffic: %+v", want)
+	}
+	code, stz := get(t, ts, "/v1/statz")
+	if code != 200 {
+		t.Fatalf("statz: %d %v", code, stz)
+	}
+	pc := stz["plan_cache"].(map[string]any)
+	if got := int(pc["entries"].(float64)); got != want.Entries {
+		t.Fatalf("statz plan_cache entries = %d, want %d (the injected cache's)", got, want.Entries)
+	}
+	if got := uint64(pc["misses"].(float64)); got != want.Misses {
+		t.Fatalf("statz plan_cache misses = %d, want %d (the injected cache's)", got, want.Misses)
+	}
+	if got := uint64(pc["hits"].(float64)); got != want.Hits {
+		t.Fatalf("statz plan_cache hits = %d, want %d (the injected cache's)", got, want.Hits)
 	}
 }
 
