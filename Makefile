@@ -1,10 +1,10 @@
 GO ?= go
 
 # Benchmarks tracked in BENCH_eval.json: the eval/chase hot-path families.
-BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE4|BenchmarkE5|BenchmarkE6|BenchmarkE7|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkAblation_StreamingEval|BenchmarkAblation_PreserveDerive|BenchmarkIncrementalVsReEval|BenchmarkServiceWarmVsCold
+BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE4|BenchmarkE5|BenchmarkE6|BenchmarkE7|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkAblation_StreamingEval|BenchmarkAblation_ShardedEval|BenchmarkAblation_PreserveDerive|BenchmarkIncrementalVsReEval|BenchmarkServiceWarmVsCold
 BENCHTIME ?= 0.3s
 
-.PHONY: all build vet datalog-vet test race race-service serve-smoke bench bench-all experiments examples clean
+.PHONY: all build vet datalog-vet test race race-service race-shard serve-smoke bench bench-all experiments examples clean
 
 all: build vet test
 
@@ -31,6 +31,13 @@ race:
 # facade, the HTTP layer and the copy-on-freeze snapshots they evaluate.
 race-service:
 	$(GO) test -race ./internal/core ./internal/service ./internal/db
+
+# race-shard race-checks the sharded round executor's determinism contract:
+# the byte-identity grid over Shards × Workers × Strategy, goal prefix-cut
+# partial databases, budget agreement, the incremental oracle and the
+# shard-aware stats accounting.
+race-shard:
+	$(GO) test -race -run 'TestSharded|TestShardOwner|TestShardView' ./internal/eval ./internal/db
 
 # serve-smoke boots `datalog serve` on an ephemeral port with a preloaded
 # program and drives a register/facts/eval/statz round-trip over HTTP.

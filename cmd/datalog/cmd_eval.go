@@ -29,6 +29,10 @@ func (c *cli) cmdEval(rest []string) error {
 		fmt.Fprintf(c.out, "%% rounds=%d firings=%d added=%d\n", st.Rounds, st.Firings, st.Added)
 		fmt.Fprintf(c.out, "%% strata streamed=%d materialized=%d, bindings pipelined=%d, early-stop cuts=%d\n",
 			st.StrataStreamed, st.StrataMaterialized, st.BindingsPipelined, st.EarlyStopCuts)
+		if st.ShardRounds > 0 {
+			fmt.Fprintf(c.out, "%% shard rounds=%d delta exchanged=%d imbalance=%d\n",
+				st.ShardRounds, st.DeltaExchanged, st.ShardImbalance)
+		}
 	}
 	return nil
 }

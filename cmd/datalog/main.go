@@ -26,11 +26,14 @@
 //
 // A file argument of "-" reads standard input. Flags:
 //
-//	-naive   use the naive fixpoint strategy for eval/query
-//	-stats   print evaluation statistics
-//	-v       print cache/session statistics (compare, minimize)
-//	-json    machine-readable vet output
-//	-addr    listen address for serve (default 127.0.0.1:8371)
+//	-naive    use the naive fixpoint strategy for eval/query
+//	-stats    print evaluation statistics
+//	-v        print cache/session statistics (compare, minimize)
+//	-json     machine-readable vet output
+//	-addr     listen address for serve (default 127.0.0.1:8371)
+//	-workers  parallel rule workers per fixpoint round (0 = sequential)
+//	-shards   hash-partition shards per fixpoint round (0 or 1 = unsharded);
+//	          for serve, both become the server's session defaults
 //
 // The command implementations live in sibling files by family: cmd_show.go
 // (parse/fmt/graph/magic/explain), cmd_eval.go (eval/query/tquery/check),
@@ -75,6 +78,8 @@ func run(args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "print cache/session statistics")
 	jsonOut := fs.Bool("json", false, "machine-readable vet output")
 	addr := fs.String("addr", "127.0.0.1:8371", "listen address for serve")
+	workers := fs.Int("workers", 0, "parallel rule workers per fixpoint round (0 = sequential)")
+	shards := fs.Int("shards", 0, "hash-partition shards per fixpoint round (0 or 1 = unsharded)")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +94,8 @@ func run(args []string, out io.Writer) error {
 	if *naive {
 		c.opts.Strategy = eval.Naive
 	}
+	c.opts.Workers = *workers
+	c.opts.Shards = *shards
 
 	switch cmd {
 	case "fmt", "parse":
@@ -148,6 +155,10 @@ func printSessionStats(out io.Writer, st eval.Stats) {
 		st.PrepareHits, st.PrepareMisses, st.VerdictsReused, st.VerdictsSubsumed, st.VerdictsRecomputed)
 	fmt.Fprintf(out, "%% session: strata streamed=%d materialized=%d, bindings pipelined=%d, early-stop cuts=%d\n",
 		st.StrataStreamed, st.StrataMaterialized, st.BindingsPipelined, st.EarlyStopCuts)
+	if st.ShardRounds > 0 {
+		fmt.Fprintf(out, "%% session: shard rounds=%d delta exchanged=%d imbalance=%d\n",
+			st.ShardRounds, st.DeltaExchanged, st.ShardImbalance)
+	}
 	cs := eval.DefaultPlanCache.Stats()
 	fmt.Fprintf(out, "%% plan cache: hits=%d misses=%d evictions=%d entries=%d\n",
 		cs.Hits, cs.Misses, cs.Evictions, cs.Entries)

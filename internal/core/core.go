@@ -181,6 +181,14 @@ type SessionOptions struct {
 	// built over the same cache share delta-patched plans by content
 	// address.
 	PlanCache *PlanCache
+	// Workers sets the default evaluation parallelism for sessions built
+	// with these options (0 = the library default). Shards sets the default
+	// shard count for the sharded round executor (0 or 1 = unsharded).
+	// Sessions prepare their plan under these values — the plan key includes
+	// both — and per-request overrides (Session.EvalWith) resolve plan
+	// variants through the same cache.
+	Workers int
+	Shards  int
 }
 
 // sessionCache resolves the variadic options to a plan cache (nil = the
@@ -192,6 +200,24 @@ func sessionCache(opts []SessionOptions) *PlanCache {
 		}
 	}
 	return nil
+}
+
+// sessionResolve folds the variadic options into one: the first non-nil
+// plan cache and the first nonzero Workers/Shards win.
+func sessionResolve(opts []SessionOptions) SessionOptions {
+	var r SessionOptions
+	for _, o := range opts {
+		if r.PlanCache == nil {
+			r.PlanCache = o.PlanCache
+		}
+		if r.Workers == 0 {
+			r.Workers = o.Workers
+		}
+		if r.Shards == 0 {
+			r.Shards = o.Shards
+		}
+	}
+	return r
 }
 
 // NewPlanCache returns an isolated plan cache holding at most max plans

@@ -61,16 +61,19 @@ var ErrBudget = eval.ErrBudget
 // prepared plan, one containment session and one preservation session.
 // A Service is safe for concurrent use.
 type Service struct {
-	cache *PlanCache // nil = process-wide
+	cache *PlanCache     // nil = process-wide
+	base  SessionOptions // defaults (Workers/Shards) for sessions it opens
 
 	mu       sync.Mutex
 	sessions map[string]*Session
 }
 
 // NewService returns an empty session registry. Sessions it opens prepare
-// through the injected plan cache (SessionOptions), or the process-wide one.
+// through the injected plan cache (SessionOptions), or the process-wide one,
+// and inherit the options' Workers/Shards defaults.
 func NewService(sess ...SessionOptions) *Service {
-	return &Service{cache: sessionCache(sess), sessions: make(map[string]*Session)}
+	o := sessionResolve(sess)
+	return &Service{cache: o.PlanCache, base: o, sessions: make(map[string]*Session)}
 }
 
 // Open returns the Session for p, creating it on first use. Programs are
@@ -88,7 +91,7 @@ func (sv *Service) Open(p *Program) (*Session, error) {
 	// other programs' lookups must not wait on it. A racing Open of the
 	// same program at worst prepares twice; the plan cache dedups the plan
 	// and the registry keeps the first session inserted.
-	s, err := NewSession(p, SessionOptions{PlanCache: sv.cache})
+	s, err := NewSession(p, sv.base)
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +111,28 @@ func (sv *Service) Len() int {
 	return len(sv.sessions)
 }
 
+// TotalStats sums the accumulated evaluation statistics and accounted
+// request counts of every open session — the service-wide counters a
+// server's /statz endpoint reports. Each session's snapshot is read under
+// its own stats lock, so the sum is race-free though not an atomic
+// cross-session cut.
+func (sv *Service) TotalStats() (EvalStats, uint64) {
+	sv.mu.Lock()
+	sessions := make([]*Session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		sessions = append(sessions, s)
+	}
+	sv.mu.Unlock()
+	var tot EvalStats
+	var n uint64
+	for _, s := range sessions {
+		st, evals := s.Stats()
+		addStats(&tot, st)
+		n += evals
+	}
+	return tot, n
+}
+
 // PlanCacheStats reports the counters of the plan cache this service's
 // sessions actually prepare through: the cache injected at construction, or
 // the process-wide default when none was.
@@ -124,6 +149,7 @@ func (sv *Service) PlanCacheStats() eval.CacheStats {
 type Session struct {
 	prog  *Program
 	cache *PlanCache
+	base  EvalOptions // the options the session's default plan was prepared under
 	prep  *Prepared
 
 	mu sync.Mutex // serializes the single-threaded checker/preserve state
@@ -143,12 +169,13 @@ type Session struct {
 // NewSession prepares p and returns a standalone session handle (servers
 // normally go through Service.Open, which dedups by content address).
 func NewSession(p *Program, sess ...SessionOptions) (*Session, error) {
-	cache := sessionCache(sess)
-	prep, err := PrepareEval(p, EvalOptions{}, SessionOptions{PlanCache: cache})
+	o := sessionResolve(sess)
+	base := EvalOptions{Workers: o.Workers, Shards: o.Shards}
+	prep, err := PrepareEval(p, base, SessionOptions{PlanCache: o.PlanCache})
 	if err != nil {
 		return nil, err
 	}
-	return &Session{prog: prep.Program(), cache: cache, prep: prep}, nil
+	return &Session{prog: prep.Program(), cache: o.PlanCache, base: base, prep: prep}, nil
 }
 
 // Program returns the session's program (the prepared copy; callers must
@@ -171,6 +198,43 @@ func (s *Session) Eval(ctx context.Context, input *Database) (*Database, EvalSta
 // when exhausted. Safe for concurrent callers.
 func (s *Session) EvalBudget(ctx context.Context, input *Database, maxDerived int) (*Database, EvalStats, error) {
 	out, _, st, err := s.prep.EvalGoalCtx(ctx, input, nil, maxDerived)
+	s.account(st)
+	return out, st, err
+}
+
+// EvalRequestOptions tunes one evaluation request beyond the session's
+// defaults: zero fields inherit the session's prepared values. Workers and
+// Shards select a plan variant through the session's plan cache (the plan
+// key includes both, so repeated tuned requests are lookups, not
+// re-preparations); MaxDerived > 0 bounds the facts derived beyond the input
+// as in EvalBudget.
+type EvalRequestOptions struct {
+	Workers    int
+	Shards     int
+	MaxDerived int
+}
+
+// EvalWith is Eval under per-request tuning. Safe for concurrent callers:
+// plan variants are immutable and the session's default plan is never
+// replaced.
+func (s *Session) EvalWith(ctx context.Context, input *Database, req EvalRequestOptions) (*Database, EvalStats, error) {
+	prep := s.prep
+	if (req.Workers != 0 && req.Workers != s.base.Workers) ||
+		(req.Shards != 0 && req.Shards != s.base.Shards) {
+		opts := s.base
+		if req.Workers != 0 {
+			opts.Workers = req.Workers
+		}
+		if req.Shards != 0 {
+			opts.Shards = req.Shards
+		}
+		p, err := PrepareEval(s.prog, opts, SessionOptions{PlanCache: s.cache})
+		if err != nil {
+			return nil, EvalStats{}, err
+		}
+		prep = p
+	}
+	out, _, st, err := prep.EvalGoalCtx(ctx, input, nil, req.MaxDerived)
 	s.account(st)
 	return out, st, err
 }
@@ -336,17 +400,27 @@ func statsDelta(cur, last EvalStats) EvalStats {
 		StrataMaterialized: cur.StrataMaterialized - last.StrataMaterialized,
 		BindingsPipelined:  cur.BindingsPipelined - last.BindingsPipelined,
 		EarlyStopCuts:      cur.EarlyStopCuts - last.EarlyStopCuts,
+		ShardRounds:        cur.ShardRounds - last.ShardRounds,
+		DeltaExchanged:     cur.DeltaExchanged - last.DeltaExchanged,
+		ShardImbalance:     cur.ShardImbalance - last.ShardImbalance,
 	}
+}
+
+// addStats folds one stats snapshot into a running total, field family by
+// field family (fixpoint, cache, streaming and sharding counters).
+func addStats(dst *EvalStats, st EvalStats) {
+	dst.Rounds += st.Rounds
+	dst.Firings += st.Firings
+	dst.Added += st.Added
+	dst.AddCache(st)
+	dst.AddStreaming(st)
+	dst.AddSharding(st)
 }
 
 // account folds one request's stats into the session totals.
 func (s *Session) account(st EvalStats) {
 	s.statsMu.Lock()
-	s.total.Rounds += st.Rounds
-	s.total.Firings += st.Firings
-	s.total.Added += st.Added
-	s.total.AddCache(st)
-	s.total.AddStreaming(st)
+	addStats(&s.total, st)
 	s.evals++
 	s.statsMu.Unlock()
 }

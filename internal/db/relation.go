@@ -41,6 +41,11 @@ type Relation struct {
 	// a map mutation. The set is tiny (one entry per distinct bound-column
 	// mask), so lookup is a linear scan.
 	indexes atomic.Pointer[indexSet]
+	// shardViews is the immutable set of shard-ownership assignments built
+	// over the arena (see shard.go), swapped atomically like indexes so the
+	// sharded evaluator's in-round ownership tests are lock-free reads. A
+	// clone starts with none and rebuilds on demand.
+	shardViews atomic.Pointer[shardSet]
 	// mu serializes index creation and lazy extension for out-of-band
 	// callers (MatchIDs on a stale relation); the evaluation hot path never
 	// takes it.
@@ -137,6 +142,11 @@ func hashValues(vals []ast.Const) uint64 {
 	}
 	return h ^ h>>32
 }
+
+// HashTuple exposes the store's tuple hash so evaluator-side staging
+// structures (the sharded executor's task-local dedup set) can share one
+// hash function with the relation tables.
+func HashTuple(vals []ast.Const) uint64 { return hashValues(vals) }
 
 func (r *Relation) hashProj(id int32, cols []int) uint64 {
 	base := int(id) * r.arity

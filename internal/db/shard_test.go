@@ -1,0 +1,118 @@
+package db
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestShardOwnerRangeAndStability(t *testing.T) {
+	for n := 2; n <= 256; n *= 2 {
+		for i := 0; i < 200; i++ {
+			c := ast.Int(int64(i * 31))
+			s := ShardOf(c, n)
+			if int(s) >= n {
+				t.Fatalf("ShardOf(%v, %d) = %d out of range", c, n, s)
+			}
+			if s != ShardOf(c, n) {
+				t.Fatalf("ShardOf(%v, %d) unstable", c, n)
+			}
+		}
+	}
+	// Home-shard fallbacks: unsharded, negative column, out-of-range column.
+	args := []ast.Const{ast.Int(7), ast.Int(9)}
+	if ShardOwner(args, 0, 1) != 0 {
+		t.Fatal("n=1 must map to shard 0")
+	}
+	if ShardOwner(args, -1, 8) != 0 {
+		t.Fatal("col=-1 must map to shard 0")
+	}
+	if ShardOwner(args, 5, 8) != 0 {
+		t.Fatal("out-of-range col must map to shard 0")
+	}
+	if ShardOwner(args, 1, 8) != ShardOf(ast.Int(9), 8) {
+		t.Fatal("ShardOwner must hash the partition column")
+	}
+}
+
+func TestShardViewBuildAndExtend(t *testing.T) {
+	d := New()
+	add := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d.AddTuple("E", []ast.Const{ast.Int(int64(i)), ast.Int(int64(i % 7))})
+		}
+	}
+	add(0, 50)
+	r := d.Relation("E")
+	v := r.EnsureShardView(1, 4)
+	if v.Covered() != 50 {
+		t.Fatalf("covered %d, want 50", v.Covered())
+	}
+	for id := 0; id < 50; id++ {
+		want := ShardOf(ast.Int(int64(id%7)), 4)
+		if v.Owner(int32(id)) != want {
+			t.Fatalf("tuple %d: owner %d, want %d", id, v.Owner(int32(id)), want)
+		}
+	}
+	// Extension covers the new tuples and leaves the published view intact.
+	add(50, 80)
+	v2 := r.EnsureShardView(1, 4)
+	if v2.Covered() != 80 {
+		t.Fatalf("extended covered %d, want 80", v2.Covered())
+	}
+	for id := 0; id < 50; id++ {
+		if v.Owner(int32(id)) != v2.Owner(int32(id)) {
+			t.Fatalf("tuple %d reassigned on extension", id)
+		}
+	}
+	if v.Covered() != 50 {
+		t.Fatal("old view mutated in place")
+	}
+	// A second (col, n) coexists with the first.
+	v0 := r.EnsureShardView(0, 2)
+	if v0.Covered() != 80 || r.EnsureShardView(1, 4).Covered() != 80 {
+		t.Fatal("per-(col,n) views must coexist")
+	}
+	// Unusable parameters yield the zero view, which owns everything to 0.
+	for _, zv := range []ShardView{
+		r.EnsureShardView(0, 1),
+		r.EnsureShardView(-1, 4),
+		r.EnsureShardView(9, 4),
+		r.EnsureShardView(0, 1000),
+		d.EnsureShardView("NoSuchPred", 0, 4),
+	} {
+		if zv.Covered() != 0 || zv.Owner(3) != 0 {
+			t.Fatal("expected zero view")
+		}
+	}
+}
+
+func TestShardViewConcurrentEnsure(t *testing.T) {
+	d := New()
+	for i := 0; i < 300; i++ {
+		d.AddTuple("E", []ast.Const{ast.Int(int64(i)), ast.Int(int64(i * 3))})
+	}
+	r := d.Relation("E")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			col, n := g%2, 2+2*(g%3)
+			for k := 0; k < 100; k++ {
+				v := r.EnsureShardView(col, n)
+				if v.Covered() != 300 {
+					t.Errorf("covered %d, want 300", v.Covered())
+					return
+				}
+				want := ShardOf(r.Tuple(k)[col], n)
+				if v.Owner(int32(k)) != want {
+					t.Errorf("col=%d n=%d tuple %d: owner %d, want %d", col, n, k, v.Owner(int32(k)), want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

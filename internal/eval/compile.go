@@ -113,11 +113,50 @@ func (cr *compiledRule) fire(d *db.Database, windows []db.RoundWindow, stats *St
 	for i := range f.vals {
 		f.vals[i] = unset
 	}
-	cr.join(d, windows, 0, f, stats, emit, stop)
+	cr.join(d, windows, 0, f, stats, nil, emit, stop)
 }
 
-// join returns false when the enumeration was aborted by stop.
-func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, f *frame, stats *Stats, emit func(string, []ast.Const) bool, stop func() bool) bool {
+// shardScan carries one sharded task's state through the join: the outer
+// atom's ownership view and the task's shard select which position-0 tuples
+// this task enumerates, and the captured ids of the first one or two join
+// positions become the emission's merge key (see roundEnv.runRound), which
+// is how the sharded commit reconstructs the sequential emission order
+// byte for byte.
+type shardScan struct {
+	view  db.ShardView
+	shard uint8
+	// tagInner marks a swapped (delta-first) execution: position 0 is the
+	// delta atom and position 1 the plan's original outer, so the merge key
+	// is (id1, id0) — plan-outer major, delta minor — matching the order the
+	// unswapped sequential join would have emitted in.
+	tagInner bool
+	id0, id1 int32
+}
+
+// fireShard is fire for one shard slice of a variant: position-0 tuples not
+// owned by sc.shard are skipped, and each emission is tagged with its merge
+// key. Rules with empty bodies (ground heads) run on shard 0 only.
+func (cr *compiledRule) fireShard(d *db.Database, windows []db.RoundWindow, stats *Stats, sc *shardScan, emit func(k1, k2 int32, pred string, args []ast.Const) bool, stop func() bool) {
+	if len(cr.body) == 0 && sc.shard != 0 {
+		return
+	}
+	f := newFrame(cr)
+	for i := range f.vals {
+		f.vals[i] = unset
+	}
+	em := func(pred string, args []ast.Const) bool {
+		if sc.tagInner {
+			return emit(sc.id1, sc.id0, pred, args)
+		}
+		return emit(sc.id0, 0, pred, args)
+	}
+	cr.join(d, windows, 0, f, stats, sc, em, stop)
+}
+
+// join returns false when the enumeration was aborted by stop. A non-nil sc
+// restricts position 0 to the tuples owned by sc's shard and records the
+// merge-key ids as the enumeration binds them.
+func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, f *frame, stats *Stats, sc *shardScan, emit func(string, []ast.Const) bool, stop func() bool) bool {
 	if pos == len(cr.body) {
 		// Negated literals: all slots bound by safety.
 		for _, n := range cr.neg {
@@ -177,6 +216,19 @@ func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, 
 		if !w.Contains(rel.RoundOf(int(id))) {
 			return true
 		}
+		if sc != nil {
+			// Ownership and merge-key capture, after the window check: ids a
+			// window admits are always covered by the views and assignments
+			// frozen at the round boundary (stamps are non-decreasing).
+			if pos == 0 {
+				if sc.view.Owner(id) != sc.shard {
+					return true
+				}
+				sc.id0 = id
+			} else if pos == 1 && sc.tagInner {
+				sc.id1 = id
+			}
+		}
 		tuple := rel.Tuple(int(id))
 		var boundArr [16]int
 		boundSlots := boundArr[:0]
@@ -201,7 +253,7 @@ func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, 
 		}
 		cont := true
 		if ok {
-			cont = cr.join(d, windows, pos+1, f, stats, emit, stop)
+			cont = cr.join(d, windows, pos+1, f, stats, sc, emit, stop)
 		}
 		for _, s := range boundSlots {
 			f.vals[s] = unset
@@ -211,10 +263,18 @@ func (cr *compiledRule) join(d *db.Database, windows []db.RoundWindow, pos int, 
 
 	switch {
 	case len(f.cols) == 0:
-		// Nothing bound: scan. The length is captured once; tuples inserted
-		// mid-scan carry the current round, which w excludes.
-		n := rel.Len()
-		for id := 0; id < n; id++ {
+		// Nothing bound: scan the window's contiguous id-range directly.
+		// Round stamps are non-decreasing with insertion order, so the ids a
+		// window [Min, Max] admits are exactly [LenAt(Min-1), LenAt(Max)) —
+		// a delta window enumerates only the delta instead of scanning the
+		// whole relation and filtering. Bounds are captured once; tuples
+		// inserted mid-scan carry the current round, beyond every window.
+		lo := 0
+		if w.Min > 0 {
+			lo = rel.LenAt(w.Min - 1)
+		}
+		n := rel.LenAt(w.Max)
+		for id := lo; id < n; id++ {
 			if !try(int32(id)) {
 				return false
 			}

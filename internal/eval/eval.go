@@ -84,12 +84,23 @@ type Options struct {
 	// benchmarks and the streaming≡materializing property test. Implied by
 	// NoCompile (the pipeline lowers from the compiled form).
 	NoStream bool
-	// Workers > 1 evaluates each round's rule variants concurrently,
-	// collecting derivations into per-variant buffers and merging them
-	// after the round (semi-naive windows never read the current round, so
-	// deferring insertion is observationally identical). Workers ≤ 1 is
-	// sequential.
+	// Workers > 1 evaluates each round's rule variants (and, under Shards,
+	// each variant's shard slices) concurrently, collecting derivations into
+	// per-task buffers and merging them after the round (semi-naive windows
+	// never read the current round, so deferring insertion is
+	// observationally identical). Workers ≤ 1 is sequential.
 	Workers int
+	// Shards > 1 enables the sharded round executor: every relation gains a
+	// hash-partitioned ownership view over a planner-chosen join-key column,
+	// and each round's variants split into per-shard tasks that enumerate
+	// only their owned slice of the outer delta window (delta-first, walking
+	// the contiguous round range directly) while inner probes read the
+	// shared frozen indexes. Buffered derivations are committed in a
+	// deterministic merge order, so the output database — including goal
+	// early-stop partial databases — is byte-identical to Shards ≤ 1 for any
+	// shard count. Shards is capped at 256 and normalized to 1 under
+	// NoCompile (the sharded executor is part of the compiled kernel).
+	Shards int
 	// MaxDerived bounds the number of new facts; 0 means unlimited. Pure
 	// Datalog always terminates, so the bound exists for callers that embed
 	// evaluation in potentially non-terminating chases.
@@ -150,6 +161,18 @@ type Stats struct {
 	// EarlyStopCuts counts streaming passes cut mid-pipeline by a goal hit
 	// or an exhausted derived-fact budget.
 	EarlyStopCuts int
+	// ShardRounds counts shard-round executions: a materializing round run
+	// under Shards=N adds N (one per shard slice of the round).
+	ShardRounds int
+	// DeltaExchanged counts boundary-delta exchanges: facts committed whose
+	// owner shard (by the head predicate's partition column) differs from
+	// the shard that derived them, i.e. tuples that would cross shards in a
+	// distributed deployment.
+	DeltaExchanged int
+	// ShardImbalance accumulates, per sharded round, the gap between the
+	// busiest shard's firings and the round's per-shard mean — a direct
+	// measure of how well the planner's partition columns spread the work.
+	ShardImbalance int
 }
 
 // AddCache accumulates o's cache counters into s.
@@ -169,6 +192,15 @@ func (s *Stats) AddStreaming(o Stats) {
 	s.StrataMaterialized += o.StrataMaterialized
 	s.BindingsPipelined += o.BindingsPipelined
 	s.EarlyStopCuts += o.EarlyStopCuts
+}
+
+// AddSharding accumulates o's sharded-executor counters into s. Accounting
+// layers folding per-request stats into service totals use it so the shard
+// counters merge exactly like the cache and streaming groups.
+func (s *Stats) AddSharding(o Stats) {
+	s.ShardRounds += o.ShardRounds
+	s.DeltaExchanged += o.DeltaExchanged
+	s.ShardImbalance += o.ShardImbalance
 }
 
 // Eval computes P(input): the least DB containing input and closed under the

@@ -50,8 +50,12 @@ func Incremental(p *ast.Program, out *db.Database, newFacts []ast.GroundAtom, op
 // holds a delta (unlike fixpoint, which begins with a full application).
 // Because the pre-existing database is closed under the rules, every new
 // derivation must use at least one delta fact, so delta rules alone are
-// complete.
+// complete. Rounds run through the shared round executor (rounds.go), so
+// the maintenance path honors Workers and Shards — and the derived-fact
+// budget, enforced inside the emit path as in fixpoint — with exactly the
+// evaluator's disciplines.
 func deltaLoop(d *db.Database, rules []ast.Rule, opts Options, stats *Stats) error {
+	opts.Shards = normalizeShards(opts)
 	ordered := make([]ast.Rule, len(rules))
 	compiled := make([]*compiledRule, len(rules))
 	for i, r := range rules {
@@ -64,42 +68,16 @@ func deltaLoop(d *db.Database, rules []ast.Rule, opts Options, stats *Stats) err
 		}
 	}
 	needs := indexNeeds(ordered)
-	baseLen := d.Len()
-	// The budget is enforced inside the emit path (as in fixpoint), so a
-	// single diverging round cannot blow far past MaxDerived.
-	stop := false
-	remaining := -1
-	if opts.MaxDerived > 0 {
-		remaining = opts.MaxDerived
+	rr := roundRules{ordered: ordered, compiled: compiled, partCol: partitionCols(rules)}
+	if opts.Shards > 1 {
+		// Every body position can hold the delta here (insertions may be
+		// extensional), so every rule with a shared-variable leading join is
+		// eligible for the delta-first swap.
+		var extra []indexNeed
+		rr.swapped, extra = buildSwapped(ordered, func(string) bool { return true })
+		needs = append(needs, extra...)
 	}
-	emit := func(pred string, args []ast.Const) bool {
-		if !d.AddTuple(pred, args) {
-			return false
-		}
-		if remaining >= 0 {
-			remaining--
-			if remaining < 0 {
-				stop = true
-			}
-		}
-		return true
-	}
-	var stopFn func() bool
-	if opts.MaxDerived > 0 {
-		stopFn = func() bool { return stop }
-	}
-	fire := func(idx int, windows []db.RoundWindow) error {
-		if compiled[idx] != nil {
-			compiled[idx].fire(d, windows, stats, emit, stopFn)
-			return nil
-		}
-		r := ordered[idx]
-		cs := make([]db.Constraint, len(r.Body))
-		for j, b := range r.Body {
-			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
-		}
-		return fireConstraints(d, r, cs, stats, emit, stopFn)
-	}
+	env := &roundEnv{ctx: opts.Context, d: d, opts: opts, stats: stats, baseLen: d.Len()}
 	for {
 		prev := d.Round()
 		round := d.BeginRound()
@@ -108,18 +86,17 @@ func deltaLoop(d *db.Database, rules []ast.Rule, opts Options, stats *Stats) err
 		for _, n := range needs {
 			d.EnsureIndex(n.pred, n.cols)
 		}
+		var variants []variant
 		for idx := range ordered {
 			// Any atom can match an inserted fact (insertions may be
 			// extensional), so the delta position ranges over the whole
 			// body here rather than only the intentional positions.
 			for i := range ordered[idx].Body {
-				if err := fire(idx, deltaWindows(len(ordered[idx].Body), i, prev)); err != nil {
-					return err
-				}
-				if stop {
-					return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
-				}
+				variants = append(variants, variant{idx, i, deltaWindows(len(ordered[idx].Body), i, prev)})
 			}
+		}
+		if err := env.runRound(rr, variants); err != nil {
+			return err
 		}
 		if !anyAddedIn(d, round) {
 			return nil

@@ -98,6 +98,8 @@ func computePlanKey(opts Options) string {
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(opts.Workers), 10)
 	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(opts.Shards), 10)
+	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(opts.MaxDerived), 10)
 	b = append(b, '|')
 	if opts.Goal != nil {

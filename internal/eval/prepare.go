@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/db"
@@ -65,6 +64,9 @@ type unit struct {
 	// application, so the planner may run it on the streaming operator
 	// pipeline instead of the materializing kernel.
 	streamable bool
+	// partCol is the planner-chosen partition column per predicate of the
+	// unit's rules (see partitionCols), consulted by the sharded executor.
+	partCol map[string]int
 
 	mu     sync.Mutex
 	static *roundSetup            // NoReorder: the order never changes
@@ -79,7 +81,11 @@ type unit struct {
 type roundSetup struct {
 	ordered  []ast.Rule
 	compiled []*compiledRule
-	needs    []indexNeed
+	// swapped holds the delta-first compilations the sharded executor
+	// substitutes for delta-at-position-1 variants (see buildSwapped); nil
+	// when the options run unsharded or a rule is ineligible.
+	swapped []*compiledRule
+	needs   []indexNeed
 	// streams holds the pipeline plans (same order as compiled) when the
 	// unit is streamable and the options permit streaming; nil otherwise.
 	streams []*streamPlan
@@ -95,6 +101,7 @@ func Prepare(p *ast.Program, opts Options) (*Prepared, error) {
 		return nil, err
 	}
 	opts.Context = nil
+	opts.Shards = normalizeShards(opts)
 	pr := &Prepared{prog: p.Clone(), opts: opts}
 	groups, err := scheduleGroups(pr.prog, opts)
 	if err != nil {
@@ -159,7 +166,7 @@ func newUnit(p *ast.Program, group []int) *unit {
 		rules[j] = p.Rules[ri]
 		dyn[p.Rules[ri].Head.Pred] = true
 	}
-	u := &unit{rules: rules, dynamic: dyn}
+	u := &unit{rules: rules, dynamic: dyn, partCol: partitionCols(rules)}
 	u.streamable = true
 	for _, r := range rules {
 		for _, a := range r.Body {
@@ -527,6 +534,14 @@ func (u *unit) build(perms [][]int, opts Options) *roundSetup {
 		}
 	}
 	rs.needs = indexNeeds(rs.ordered)
+	if opts.Shards > 1 && !opts.NoCompile {
+		// Sharded rounds may run delta-at-position-1 variants delta-first;
+		// compile the swapped forms now and register the index columns their
+		// displaced probes need so the round-boundary freeze covers them.
+		var extra []indexNeed
+		rs.swapped, extra = buildSwapped(rs.ordered, func(pred string) bool { return u.dynamic[pred] })
+		rs.needs = append(rs.needs, extra...)
+	}
 	if u.streamable && !opts.NoCompile && !opts.NoStream {
 		rs.streams = make([]*streamPlan, len(rs.compiled))
 		for i, cr := range rs.compiled {
@@ -579,223 +594,22 @@ func (u *unit) fixpoint(ctx context.Context, d *db.Database, opts Options, stats
 	}
 	stats.StrataMaterialized++
 
-	// fireInto evaluates one variant with derivations routed to emit; a
-	// non-nil stop aborts the variant's enumeration when it reports true.
-	fireInto := func(idx int, windows []db.RoundWindow, st *Stats, emit func(string, []ast.Const) bool, stop func() bool) error {
-		if rs.compiled[idx] != nil {
-			rs.compiled[idx].fire(d, windows, st, emit, stop)
-			return nil
-		}
-		r := rs.ordered[idx]
-		cs := make([]db.Constraint, len(r.Body))
-		for j, b := range r.Body {
-			cs[j] = db.Constraint{Atom: b, Window: windows[j]}
-		}
-		return fireConstraints(d, r, cs, st, emit, stop)
+	// The round executor (rounds.go) owns the sequential / parallel / sharded
+	// firing disciplines and their shared budget, goal and cancellation
+	// semantics; the fixpoint only decides which variants each round runs.
+	env := &roundEnv{
+		ctx: ctx, d: d, opts: opts, stats: stats,
+		baseLen: baseLen, goal: goal, prov: prov, ruleIdxs: ruleIdxs,
 	}
-	budgetErr := func() error {
-		return fmt.Errorf("%w: derived %d facts (budget %d)", ErrBudget, d.Len()-baseLen, opts.MaxDerived)
-	}
-
-	type variant struct {
-		idx     int
-		windows []db.RoundWindow
-	}
-	// runRound evaluates a round's variants, sequentially or in parallel.
-	// The derived-fact budget and the goal test are enforced inside the
-	// emit path, so a round that would blow far past Options.MaxDerived (a
-	// chase embedding on a diverging instance, say) is cut off as soon as
-	// the budget is exhausted, and a goal-directed evaluation halts the
-	// moment the goal is derived rather than at the fixpoint.
-	runRound := func(variants []variant) error {
-		if opts.Workers <= 1 || len(variants) < 2 {
-			stop := false
-			goalHit := false
-			canceled := false
-			ctxTick := 0
-			remaining := -1
-			if opts.MaxDerived > 0 {
-				remaining = opts.MaxDerived - (d.Len() - baseLen)
-			}
-			emit := func(pred string, args []ast.Const) bool {
-				if !d.AddTuple(pred, args) {
-					return false
-				}
-				if goal != nil && pred == goal.Pred && constsEqual(args, goal.Args) {
-					goalHit = true
-					stop = true
-				}
-				if remaining >= 0 {
-					remaining--
-					if remaining < 0 {
-						stop = true
-					}
-				}
-				return true
-			}
-			if ctx != nil {
-				// Emit-path cancellation cadence: a long round still stops
-				// promptly after its deadline, like the budget tripwire. The
-				// check is layered on as a wrapper so a context-free Eval
-				// pays nothing for it.
-				inner := emit
-				emit = func(pred string, args []ast.Const) bool {
-					if ctxTick++; ctxTick%ctxCheckEvery == 0 && ctx.Err() != nil {
-						canceled = true
-						stop = true
-					}
-					return inner(pred, args)
-				}
-			}
-			var stopFn func() bool
-			if opts.MaxDerived > 0 || goal != nil || ctx != nil {
-				stopFn = func() bool { return stop }
-			}
-			for _, v := range variants {
-				em := emit
-				if prov != nil {
-					// Wrap per variant so a successful emission credits the
-					// firing rule's program index.
-					ridx := ruleIdxs[v.idx]
-					em = func(pred string, args []ast.Const) bool {
-						if emit(pred, args) {
-							prov.Add(ridx)
-							return true
-						}
-						return false
-					}
-				}
-				if err := fireInto(v.idx, v.windows, stats, em, stopFn); err != nil {
-					return err
-				}
-				if goalHit {
-					return errGoal
-				}
-				if canceled {
-					return CtxErr(ctx)
-				}
-				if stop {
-					return budgetErr()
-				}
-			}
-			return nil
-		}
-		type pending struct {
-			pred string
-			args []ast.Const
-		}
-		// Parallel: fire variants concurrently into per-variant buffers and
-		// merge after the round. The budget tripwire counts tentative
-		// emissions (each variant dedups against the frozen database but
-		// not against its peers), so it can only overcount; when it trips
-		// without the merged total actually exceeding the budget, the
-		// truncated round is re-fired — already-merged facts then dedup at
-		// emit time, so every re-fire either completes the round or strictly
-		// grows the database until the budget genuinely runs out.
-		//
-		// Goal-directed runs use a variant-ordered merge with prefix cut.
-		// In-flight variants are deliberately NOT aborted (cutting peers off
-		// mid-enumeration would make the partial database depend on
-		// goroutine scheduling); instead the merge commits the buffers in
-		// variant order and stops at the first committed goal fact. Each
-		// variant's enumeration only probes frozen indexes — tuples inserted
-		// mid-round are stamped with the current round, which every window
-		// excludes — so a buffer replays exactly the emission sequence the
-		// sequential path would produce for that variant, and the committed
-		// prefix equals the sequential partial database byte for byte while
-		// reclaiming the mid-round abort. A variant's error is surfaced
-		// after its buffer commits (the sequential path adds facts up to the
-		// failure point too); errors of variants past the cut belong to work
-		// a sequential run never starts and are discarded.
-		var tentative atomic.Int64
-		var tripped atomic.Bool
-		var stopFn func() bool
-		if opts.MaxDerived > 0 {
-			stopFn = func() bool { return tripped.Load() }
-		}
-		for {
-			// Parallel rounds observe cancellation at round (and re-fire)
-			// boundaries: aborting in-flight variants mid-enumeration would
-			// make the partial database depend on goroutine scheduling, which
-			// the deterministic merge below exists to prevent.
-			if err := CtxErr(ctx); err != nil {
-				return err
-			}
-			tentative.Store(int64(d.Len() - baseLen))
-			tripped.Store(false)
-			buffers := make([][]pending, len(variants))
-			statsArr := make([]Stats, len(variants))
-			errs := make([]error, len(variants))
-			sem := make(chan struct{}, opts.Workers)
-			var wg sync.WaitGroup
-			for vi := range variants {
-				wg.Add(1)
-				go func(vi int) {
-					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					v := variants[vi]
-					emit := func(pred string, args []ast.Const) bool {
-						if d.HasTuple(pred, args) {
-							return false
-						}
-						cp := make([]ast.Const, len(args))
-						copy(cp, args)
-						buffers[vi] = append(buffers[vi], pending{pred: pred, args: cp})
-						if opts.MaxDerived > 0 && tentative.Add(1) > int64(opts.MaxDerived) {
-							tripped.Store(true)
-						}
-						return true // tentatively new; merge dedups across variants
-					}
-					errs[vi] = fireInto(v.idx, v.windows, &statsArr[vi], emit, stopFn)
-				}(vi)
-			}
-			wg.Wait()
-			// The merge runs single-threaded after the round's workers join,
-			// so provenance updates need no synchronization.
-			for vi := range variants {
-				stats.Firings += statsArr[vi].Firings
-				merged := 0
-				cut := false
-				for _, pf := range buffers[vi] {
-					if d.AddTuple(pf.pred, pf.args) {
-						stats.Added++
-						merged++
-						if goal != nil && pf.pred == goal.Pred && constsEqual(pf.args, goal.Args) {
-							cut = true
-							break
-						}
-					}
-				}
-				if prov != nil && merged > 0 {
-					prov.Add(ruleIdxs[variants[vi].idx])
-				}
-				if cut {
-					// The goal is ground, so any committed emission of it is
-					// the goal; it precedes any error in this variant's
-					// enumeration, and later variants are past the cut.
-					return errGoal
-				}
-				if errs[vi] != nil {
-					return errs[vi]
-				}
-			}
-			if !tripped.Load() {
-				return nil
-			}
-			if d.Len()-baseLen > opts.MaxDerived {
-				return budgetErr()
-			}
-		}
-	}
+	rr := roundRules{ordered: rs.ordered, compiled: rs.compiled, swapped: rs.swapped, partCol: u.partCol}
 
 	// First iteration: full application of every rule over everything
 	// present before the stratum.
 	var firstRound []variant
 	for idx := range rs.ordered {
-		firstRound = append(firstRound, variant{idx, fullWindows(len(rs.ordered[idx].Body), prevTop)})
+		firstRound = append(firstRound, variant{idx, -1, fullWindows(len(rs.ordered[idx].Body), prevTop)})
 	}
-	if err := runRound(firstRound); err != nil {
+	if err := env.runRound(rr, firstRound); err != nil {
 		return err
 	}
 	if err := checkBudget(d, baseLen, opts); err != nil {
@@ -818,11 +632,12 @@ func (u *unit) fixpoint(ctx context.Context, d *db.Database, opts Options, stats
 		for _, n := range rs.needs {
 			d.EnsureIndex(n.pred, n.cols)
 		}
+		rr = roundRules{ordered: rs.ordered, compiled: rs.compiled, swapped: rs.swapped, partCol: u.partCol}
 		var variants []variant
 		for idx := range rs.ordered {
 			r := rs.ordered[idx]
 			if opts.Strategy == Naive {
-				variants = append(variants, variant{idx, fullWindows(len(r.Body), prev)})
+				variants = append(variants, variant{idx, -1, fullWindows(len(r.Body), prev)})
 				continue
 			}
 			// Semi-naive: one variant per dynamic body position i, with
@@ -834,10 +649,10 @@ func (u *unit) fixpoint(ctx context.Context, d *db.Database, opts Options, stats
 				if !u.dynamic[a.Pred] {
 					continue
 				}
-				variants = append(variants, variant{idx, deltaWindows(len(r.Body), i, prev)})
+				variants = append(variants, variant{idx, i, deltaWindows(len(r.Body), i, prev)})
 			}
 		}
-		if err := runRound(variants); err != nil {
+		if err := env.runRound(rr, variants); err != nil {
 			return err
 		}
 		if err := checkBudget(d, baseLen, opts); err != nil {

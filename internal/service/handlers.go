@@ -41,11 +41,38 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// budgetJSON is the per-request resource envelope: it maps directly onto
-// eval.Options.MaxDerived and a context deadline.
+// budgetJSON is the per-request resource envelope: a derived-fact cap, a
+// context deadline, and tuning knobs for the evaluation executor (parallel
+// workers and hash-partition shards).
 type budgetJSON struct {
 	MaxDerived int `json:"max_derived"`
 	TimeoutMS  int `json:"timeout_ms"`
+	Workers    int `json:"workers"`
+	Shards     int `json:"shards"`
+}
+
+// Per-request tuning caps: a tenant may tune its own requests' parallelism
+// and sharding, but not demand unbounded fan-out from a shared process.
+const (
+	maxRequestWorkers = 16
+	maxRequestShards  = 64
+)
+
+// tune maps the budget onto per-request eval options, clamping Workers and
+// Shards to the service caps (zero and negative values inherit the session
+// defaults).
+func (b budgetJSON) tune() core.EvalRequestOptions {
+	req := core.EvalRequestOptions{}
+	if b.MaxDerived > 0 {
+		req.MaxDerived = b.MaxDerived
+	}
+	if b.Workers > 0 {
+		req.Workers = min(b.Workers, maxRequestWorkers)
+	}
+	if b.Shards > 0 {
+		req.Shards = min(b.Shards, maxRequestShards)
+	}
+	return req
 }
 
 // ctx derives the request context bounded by the budget's deadline.
@@ -176,36 +203,17 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		input := snap.DB()
-		var rows [][]ast.Const
-		var st eval.Stats
-		if req.Budget.MaxDerived > 0 {
-			out, bst, berr := pv.session.EvalBudget(ctx, input, req.Budget.MaxDerived)
-			st = bst
-			if berr != nil {
-				s.writeError(w, berr)
-				return
-			}
-			rows = matchRows(out, atom)
-		} else {
-			rows, st, err = pv.session.Query(ctx, input, atom)
-			if err != nil {
-				s.writeError(w, err)
-				return
-			}
+		out, st, err := pv.session.EvalWith(ctx, snap.DB(), req.Budget.tune())
+		if err != nil {
+			s.writeError(w, err)
+			return
 		}
-		resp["rows"] = e.formatRows(rows)
+		resp["rows"] = e.formatRows(matchRows(out, atom))
 		resp["stats"] = toStatsJSON(st)
 		writeJSON(w, 200, resp)
 		return
 	}
-	var out *core.Database
-	var st eval.Stats
-	if req.Budget.MaxDerived > 0 {
-		out, st, err = pv.session.EvalBudget(ctx, snap.DB(), req.Budget.MaxDerived)
-	} else {
-		out, st, err = pv.session.Eval(ctx, snap.DB())
-	}
+	out, st, err := pv.session.EvalWith(ctx, snap.DB(), req.Budget.tune())
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -401,11 +409,16 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	pc := s.svc.PlanCacheStats()
 	vs := core.VerdictStats()
+	est, ereqs := s.svc.TotalStats()
 	s.mu.RLock()
 	nprogs := len(s.programs)
 	s.mu.RUnlock()
 	writeJSON(w, 200, map[string]any{
 		"programs": nprogs,
+		"eval": map[string]any{
+			"requests": ereqs,
+			"totals":   toStatsJSON(est),
+		},
 		"plan_cache": map[string]any{
 			"entries": pc.Entries, "hits": pc.Hits, "misses": pc.Misses,
 			"evictions": pc.Evictions,

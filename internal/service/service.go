@@ -273,6 +273,9 @@ type statsJSON struct {
 	StrataMaterialized int `json:"strata_materialized"`
 	BindingsPipelined  int `json:"bindings_pipelined"`
 	EarlyStopCuts      int `json:"early_stop_cuts"`
+	ShardRounds        int `json:"shard_rounds"`
+	DeltaExchanged     int `json:"delta_exchanged"`
+	ShardImbalance     int `json:"shard_imbalance"`
 }
 
 func toStatsJSON(st eval.Stats) statsJSON {
@@ -289,6 +292,9 @@ func toStatsJSON(st eval.Stats) statsJSON {
 		StrataMaterialized: st.StrataMaterialized,
 		BindingsPipelined:  st.BindingsPipelined,
 		EarlyStopCuts:      st.EarlyStopCuts,
+		ShardRounds:        st.ShardRounds,
+		DeltaExchanged:     st.DeltaExchanged,
+		ShardImbalance:     st.ShardImbalance,
 	}
 }
 

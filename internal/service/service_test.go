@@ -482,3 +482,100 @@ func TestServeVetAndExplain(t *testing.T) {
 		t.Fatalf("non-ground explain: %d %v", code, resp)
 	}
 }
+
+// statField reads one integer stats field out of a decoded JSON payload.
+func statField(t *testing.T, stats map[string]any, key string) int {
+	t.Helper()
+	v, ok := stats[key].(float64)
+	if !ok {
+		t.Fatalf("stats payload missing %q: %v", key, stats)
+	}
+	return int(v)
+}
+
+// TestStatzShardTotalsTwoTenants drives sharded and unsharded eval requests
+// from two tenants, sums the per-request stats payloads, and asserts the
+// /v1/statz eval totals match the sum exactly — the shard counters
+// (shard_rounds, delta_exchanged, shard_imbalance) included. Run under
+// -race in CI: the per-session accounting and the statz read race against
+// each other in production.
+func TestStatzShardTotalsTwoTenants(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, resp := post(t, ts, "/v1/programs/authz", map[string]any{"source": authzProgram}); code != 200 {
+		t.Fatalf("register: %d %v", code, resp)
+	}
+	if code, resp := post(t, ts, "/v1/programs/authz/facts", map[string]any{"tenant": "acme", "facts": tenantAFacts}); code != 200 {
+		t.Fatalf("facts acme: %d %v", code, resp)
+	}
+	if code, resp := post(t, ts, "/v1/programs/authz/facts", map[string]any{"tenant": "globex", "facts": tenantBFacts}); code != 200 {
+		t.Fatalf("facts globex: %d %v", code, resp)
+	}
+
+	keys := []string{"rounds", "firings", "added", "shard_rounds", "delta_exchanged", "shard_imbalance"}
+	sum := make(map[string]int)
+	requests := 0
+	wantRows := oracleRows(t, authzProgram, []string{tenantAFacts}, "CanRead(u, d)")
+	for _, req := range []map[string]any{
+		{"tenant": "acme", "query": "CanRead(u, d)", "budget": map[string]any{"shards": 4, "workers": 2}},
+		{"tenant": "globex", "budget": map[string]any{"shards": 2}},
+		{"tenant": "acme", "query": "CanRead(u, d)"},
+		{"tenant": "globex", "query": "Member(u, g)", "budget": map[string]any{"shards": 8, "max_derived": 1000}},
+	} {
+		code, resp := post(t, ts, "/v1/programs/authz/eval", req)
+		if code != 200 {
+			t.Fatalf("eval %v: %d %v", req, code, resp)
+		}
+		stats, ok := resp["stats"].(map[string]any)
+		if !ok {
+			t.Fatalf("eval %v: no stats in %v", req, resp)
+		}
+		for _, k := range keys {
+			sum[k] += statField(t, stats, k)
+		}
+		requests++
+		if req["tenant"] == "acme" && req["query"] == "CanRead(u, d)" {
+			if got := respRows(t, resp); !sliceEq(got, wantRows) {
+				t.Fatalf("sharded rows diverge from oracle: got %v want %v", got, wantRows)
+			}
+		}
+	}
+	if sum["shard_rounds"] == 0 {
+		t.Fatal("no request exercised the sharded executor")
+	}
+
+	code, resp := get(t, ts, "/v1/statz")
+	if code != 200 {
+		t.Fatalf("statz: %d %v", code, resp)
+	}
+	ev, ok := resp["eval"].(map[string]any)
+	if !ok {
+		t.Fatalf("statz has no eval section: %v", resp)
+	}
+	if got := int(ev["requests"].(float64)); got != requests {
+		t.Fatalf("statz eval requests = %d, want %d", got, requests)
+	}
+	totals, ok := ev["totals"].(map[string]any)
+	if !ok {
+		t.Fatalf("statz eval has no totals: %v", ev)
+	}
+	for _, k := range keys {
+		if got := statField(t, totals, k); got != sum[k] {
+			t.Fatalf("statz totals[%q] = %d, want the per-request sum %d", k, got, sum[k])
+		}
+	}
+}
+
+func sliceEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
