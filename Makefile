@@ -1,10 +1,10 @@
 GO ?= go
 
 # Benchmarks tracked in BENCH_eval.json: the eval/chase hot-path families.
-BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE4|BenchmarkE5|BenchmarkE6|BenchmarkE7|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkAblation_StreamingEval|BenchmarkAblation_ShardedEval|BenchmarkAblation_PreserveDerive|BenchmarkIncrementalVsReEval|BenchmarkServiceWarmVsCold
+BENCH_PATTERN ?= BenchmarkE2|BenchmarkE3|BenchmarkE4|BenchmarkE5|BenchmarkE6|BenchmarkE7|BenchmarkE9|BenchmarkAblation_CompiledEval|BenchmarkAblation_ParallelEval|BenchmarkAblation_StreamingEval|BenchmarkAblation_ShardedEval|BenchmarkAblation_PreserveDerive|BenchmarkAblation_IncrementalChurn|BenchmarkIncrementalVsReEval|BenchmarkServiceWarmVsCold
 BENCHTIME ?= 0.3s
 
-.PHONY: all build vet datalog-vet test race race-service race-shard serve-smoke bench bench-all experiments examples clean
+.PHONY: all build vet datalog-vet test race race-service race-shard race-ivm serve-smoke bench bench-all experiments examples clean
 
 all: build vet test
 
@@ -38,6 +38,13 @@ race-service:
 # shard-aware stats accounting.
 race-shard:
 	$(GO) test -race -run 'TestSharded|TestShardOwner|TestShardView' ./internal/eval ./internal/db
+
+# race-ivm race-checks the incremental view maintenance stack: the
+# counting/DRed maintenance engine and its randomized oracle grid, the
+# tombstone/compaction machinery in the store, session Apply diffs and the
+# subscription fan-out in the service layer.
+race-ivm:
+	$(GO) test -race -run 'TestMaintain|TestCompact|TestRemove|TestFreeze|TestCounts|TestSession|TestSubscri|TestFactsEnvelope' ./internal/eval ./internal/db ./internal/core ./internal/service
 
 # serve-smoke boots `datalog serve` on an ephemeral port with a preloaded
 # program and drives a register/facts/eval/statz round-trip over HTTP.

@@ -140,6 +140,7 @@ commands:     :show                   print the session's program/facts/tgds
               :equivopt               optimize under plain equivalence
               :preserve               Fig. 3 + (3') for the session's tgds
               :explain G(1, 2)        derivation tree for a fact
+              :retract A(1, 2)        remove an input fact
               :graph                  dependence graph in DOT
               :stats                  database and program statistics
               :load <file>            read statements from a file
@@ -169,6 +170,32 @@ commands:     :show                   print the session's program/facts/tgds
 		}
 		fmt.Fprint(s.out, out.Format(s.syms))
 		fmt.Fprintf(s.out, "%% %d facts, %d rounds\n", out.Len(), st.Rounds)
+		return nil
+
+	case ":retract":
+		if len(fields) < 2 {
+			return fmt.Errorf(":retract needs a ground fact, e.g. :retract A(1, 2)")
+		}
+		src := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, ":retract")), ".")
+		atom, err := parser.ParseAtomWithSymbols(src, s.syms)
+		if err != nil {
+			return err
+		}
+		g, err := atom.Ground(ast.Binding{})
+		if err != nil {
+			return fmt.Errorf(":retract needs a ground fact: %w", err)
+		}
+		kept := s.facts[:0]
+		removed := 0
+		for _, f := range s.facts {
+			if f.Pred == g.Pred && f.Equal(g) {
+				removed++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		s.facts = kept
+		fmt.Fprintf(s.out, "retracted %d fact(s)\n", removed)
 		return nil
 
 	case ":minimize":

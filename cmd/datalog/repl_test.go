@@ -133,3 +133,25 @@ func TestReplStatsAndLoad(t *testing.T) {
 		t.Fatalf("missing-file load did not report:\n%s", out)
 	}
 }
+
+func TestReplRetract(t *testing.T) {
+	out := runREPL(t,
+		"G(x, z) :- A(x, z).",
+		"G(x, z) :- G(x, y), G(y, z).",
+		"A(1, 2). A(2, 3).",
+		":retract A(2, 3).",
+		"?- G(1, y).",
+		":retract A(9, 9)",
+		":quit",
+	)
+	if !strings.Contains(out, "retracted 1 fact(s)") {
+		t.Fatalf("transcript:\n%s", out)
+	}
+	// With A(2,3) gone the closure from 1 stops at 2.
+	if !strings.Contains(out, "1 answer(s)") || strings.Contains(out, "G(1, 3)") {
+		t.Fatalf("transcript:\n%s", out)
+	}
+	if !strings.Contains(out, "retracted 0 fact(s)") {
+		t.Fatalf("transcript:\n%s", out)
+	}
+}

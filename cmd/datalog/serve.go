@@ -12,9 +12,12 @@ import (
 )
 
 // cmdServe runs the long-lived multi-tenant query server: named, versioned
-// programs behind HTTP/JSON endpoints (register, facts, eval, minimize,
-// compare, vet, explain, statz), all sharing the process-wide plan cache
-// and verdict store. Positional arguments of the form name=file preload
+// programs behind HTTP/JSON endpoints (register, facts, subscriptions,
+// eval, minimize, compare, vet, explain, statz), all sharing the
+// process-wide plan cache and verdict store. The facts endpoint takes
+// assert/retract mutation batches, and subscriptions stream the maintained
+// output diff of each batch as NDJSON changefeed frames.
+// Positional arguments of the form name=file preload
 // program versions before the listener opens, so a deployment can ship its
 // programs on the command line and tenants only push facts and queries.
 // The -workers and -shards flags become the server's session defaults;

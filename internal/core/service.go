@@ -161,6 +161,10 @@ type Session struct {
 	ps     *PreserveSession
 	psLast EvalStats
 
+	// viewMu guards the session's default maintained view (view.go).
+	viewMu sync.Mutex
+	view   *View
+
 	statsMu sync.Mutex
 	total   EvalStats
 	evals   uint64
@@ -185,38 +189,30 @@ func (s *Session) Program() *Program { return s.prog }
 // Prepared returns the session's prepared plan for direct use.
 func (s *Session) Prepared() *Prepared { return s.prep }
 
-// Eval computes P(input) under ctx. Safe for concurrent callers; input is
-// not modified (evaluate frozen snapshots via Snapshot.Thaw).
+// Eval computes P(input) under ctx — EvalWith with zero options, the
+// common case spelled short. Safe for concurrent callers; input is not
+// modified (evaluate frozen snapshots via Snapshot.Thaw).
 func (s *Session) Eval(ctx context.Context, input *Database) (*Database, EvalStats, error) {
-	out, st, err := s.prep.EvalCtx(ctx, input)
-	s.account(st)
-	return out, st, err
-}
-
-// EvalBudget is Eval with a derived-fact budget: maxDerived > 0 bounds the
-// facts derived beyond the input, returning an error wrapping ErrBudget
-// when exhausted. Safe for concurrent callers.
-func (s *Session) EvalBudget(ctx context.Context, input *Database, maxDerived int) (*Database, EvalStats, error) {
-	out, _, st, err := s.prep.EvalGoalCtx(ctx, input, nil, maxDerived)
-	s.account(st)
-	return out, st, err
+	return s.EvalWith(ctx, input, EvalRequestOptions{})
 }
 
 // EvalRequestOptions tunes one evaluation request beyond the session's
 // defaults: zero fields inherit the session's prepared values. Workers and
 // Shards select a plan variant through the session's plan cache (the plan
 // key includes both, so repeated tuned requests are lookups, not
-// re-preparations); MaxDerived > 0 bounds the facts derived beyond the input
-// as in EvalBudget.
+// re-preparations); MaxDerived > 0 bounds the facts derived beyond the
+// input, returning an error wrapping ErrBudget when exhausted.
 type EvalRequestOptions struct {
 	Workers    int
 	Shards     int
 	MaxDerived int
 }
 
-// EvalWith is Eval under per-request tuning. Safe for concurrent callers:
-// plan variants are immutable and the session's default plan is never
-// replaced.
+// EvalWith is the canonical evaluation request: every option-driven
+// variation of Eval goes through here (the former Eval/EvalBudget/EvalWith
+// triple collapsed to one entry point plus the Eval shorthand). Safe for
+// concurrent callers: plan variants are immutable and the session's default
+// plan is never replaced.
 func (s *Session) EvalWith(ctx context.Context, input *Database, req EvalRequestOptions) (*Database, EvalStats, error) {
 	prep := s.prep
 	if (req.Workers != 0 && req.Workers != s.base.Workers) ||
@@ -403,6 +399,10 @@ func statsDelta(cur, last EvalStats) EvalStats {
 		ShardRounds:        cur.ShardRounds - last.ShardRounds,
 		DeltaExchanged:     cur.DeltaExchanged - last.DeltaExchanged,
 		ShardImbalance:     cur.ShardImbalance - last.ShardImbalance,
+		Applies:            cur.Applies - last.Applies,
+		CountAdjusted:      cur.CountAdjusted - last.CountAdjusted,
+		Overdeleted:        cur.Overdeleted - last.Overdeleted,
+		Rederived:          cur.Rederived - last.Rederived,
 	}
 }
 
@@ -415,6 +415,7 @@ func addStats(dst *EvalStats, st EvalStats) {
 	dst.AddCache(st)
 	dst.AddStreaming(st)
 	dst.AddSharding(st)
+	dst.AddMaintain(st)
 }
 
 // account folds one request's stats into the session totals.

@@ -51,7 +51,7 @@ func factsKey(d *core.Database) string {
 // TestSharedPlanCachePropertyMatchesIsolated is the satellite property
 // test: N concurrent tenants sharing one PlanCache must produce results
 // byte-identical to isolated-cache runs, across the strategy (Eval /
-// EvalBudget / Query) × worker × goal grid. Run under -race in CI.
+// EvalWith / Query) × worker × goal grid. Run under -race in CI.
 func TestSharedPlanCachePropertyMatchesIsolated(t *testing.T) {
 	prog, err := core.ParseProgram(serviceProgram)
 	if err != nil {
@@ -129,7 +129,7 @@ func runStrategy(sess *core.Session, strat, w, i int) (string, error) {
 		return factsKey(out), nil
 	case 1:
 		// A generous budget: results must still be the full model.
-		out, _, err := sess.EvalBudget(ctx, input, 1<<20)
+		out, _, err := sess.EvalWith(ctx, input, core.EvalRequestOptions{MaxDerived: 1 << 20})
 		if err != nil {
 			return "", err
 		}
@@ -203,9 +203,9 @@ func TestSessionDeadlineTypedErrors(t *testing.T) {
 		t.Fatalf("post-cancellation ContainsRule = %v, %v; want true", ok, err)
 	}
 
-	// EvalBudget still returns the typed budget error.
-	if _, _, err := sess.EvalBudget(context.Background(), serviceDB(64, 1), 3); !errors.Is(err, core.ErrBudget) {
-		t.Fatalf("EvalBudget: err = %v, want ErrBudget", err)
+	// A MaxDerived request still returns the typed budget error.
+	if _, _, err := sess.EvalWith(context.Background(), serviceDB(64, 1), core.EvalRequestOptions{MaxDerived: 3}); !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("EvalWith: err = %v, want ErrBudget", err)
 	}
 }
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/eval"
+)
+
+// Incremental view maintenance at the facade: a View is a materialized
+// output kept consistent with its input under fact-level mutation batches
+// (counting for non-recursive strata, delete-rederive for recursive ones —
+// internal/eval/maintain.go). Sessions hand out views via Materialize and
+// fold every Apply's work into their accounted totals, so /statz-style
+// aggregation covers maintenance exactly like evaluation.
+
+// DatabaseDelta is one batch of fact-level input mutations, set-semantics:
+// retracting an absent fact and asserting a present one are no-ops, and a
+// fact both retracted and asserted in one batch nets to "present".
+type DatabaseDelta = eval.Delta
+
+// DatabaseDiff is the exact net output change of one applied delta, in
+// canonical (predicate, arguments) order.
+type DatabaseDiff = eval.Diff
+
+// MaintainOptions configures a maintained view (the ForceDRed ablation
+// knob).
+type MaintainOptions = eval.MaintainOptions
+
+// View is a maintained materialization of the session's program over one
+// input database. Apply is serialized on the view's own mutex; Output and
+// Input return frozen databases that remain valid (as that version) across
+// later Applies, so readers never block writers.
+type View struct {
+	s *Session
+
+	mu      sync.Mutex
+	m       *eval.Maintained
+	version uint64
+}
+
+// Materialize evaluates the session program over input and returns a
+// maintained view of the result. The returned handle is independent —
+// callers maintaining several inputs (tenants) hold one View each — and it
+// also becomes the session's default view, the one Session.Apply addresses.
+func (s *Session) Materialize(ctx context.Context, input *Database, mo MaintainOptions) (*View, EvalStats, error) {
+	m, st, err := s.prep.Materialize(ctx, input, mo)
+	s.account(st)
+	if err != nil {
+		return nil, st, err
+	}
+	v := &View{s: s, m: m, version: 1}
+	s.viewMu.Lock()
+	s.view = v
+	s.viewMu.Unlock()
+	return v, st, nil
+}
+
+// View returns the session's default view: the most recently materialized
+// one, or nil before any Materialize.
+func (s *Session) View() *View {
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	return s.view
+}
+
+// Apply routes a mutation batch to the session's default view. Sessions
+// maintaining several views apply through the View handles directly.
+func (s *Session) Apply(ctx context.Context, delta DatabaseDelta) (DatabaseDiff, EvalStats, error) {
+	v := s.View()
+	if v == nil {
+		return DatabaseDiff{}, EvalStats{}, fmt.Errorf("core: Session.Apply before Materialize: no maintained view")
+	}
+	return v.Apply(ctx, delta)
+}
+
+// Apply absorbs one mutation batch into the view's input, maintains the
+// materialized output, and returns the exact net output diff in canonical
+// order. Serialized per view; a failed Apply (cancellation) leaves the view
+// on its previous version.
+func (v *View) Apply(ctx context.Context, delta DatabaseDelta) (DatabaseDiff, EvalStats, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	diff, st, err := v.m.Apply(ctx, delta)
+	v.s.account(st)
+	if err != nil {
+		return DatabaseDiff{}, st, err
+	}
+	v.version++
+	return diff, st, nil
+}
+
+// Output returns the current materialized output as a frozen database.
+func (v *View) Output() *Database {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.m.Output()
+}
+
+// Input returns the view's current input database (frozen).
+func (v *View) Input() *Database {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.m.Input()
+}
+
+// Version returns the view's version counter: 1 after Materialize,
+// incremented by every successfully applied batch.
+func (v *View) Version() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.version
+}
+
+// Session returns the session the view maintains a program of.
+func (v *View) Session() *Session { return v.s }

@@ -114,11 +114,11 @@ func (d *Database) EnsureIndex(pred string, cols []int) {
 // been inserted.
 func (d *Database) Relation(pred string) *Relation { return d.rels[pred] }
 
-// Preds returns the predicates with at least one tuple, sorted.
+// Preds returns the predicates with at least one live tuple, sorted.
 func (d *Database) Preds() []string {
 	preds := make([]string, 0, len(d.rels))
 	for p, r := range d.rels {
-		if r.Len() > 0 {
+		if r.Len()-r.ndead > 0 {
 			preds = append(preds, p)
 		}
 	}
@@ -153,7 +153,7 @@ func (d *Database) AddAll(other *Database) int {
 	for _, p := range other.Preds() {
 		r := other.rels[p]
 		for i := 0; i < r.Len(); i++ {
-			if d.AddTuple(p, r.Tuple(i)) {
+			if r.alive(i) && d.AddTuple(p, r.Tuple(i)) {
 				added++
 			}
 		}
@@ -165,7 +165,7 @@ func (d *Database) AddAll(other *Database) int {
 func (d *Database) Contains(other *Database) bool {
 	for p, r := range other.rels {
 		for i := 0; i < r.Len(); i++ {
-			if !d.HasTuple(p, r.Tuple(i)) {
+			if r.alive(i) && !d.HasTuple(p, r.Tuple(i)) {
 				return false
 			}
 		}
@@ -185,6 +185,9 @@ func (d *Database) Facts() []ast.GroundAtom {
 	for _, p := range d.Preds() {
 		r := d.rels[p]
 		for i := 0; i < r.Len(); i++ {
+			if !r.alive(i) {
+				continue
+			}
 			t := r.Tuple(i)
 			args := make([]ast.Const, len(t))
 			copy(args, t)
@@ -199,6 +202,9 @@ func (d *Database) Consts() map[ast.Const]bool {
 	set := make(map[ast.Const]bool)
 	for _, r := range d.rels {
 		for i := 0; i < r.Len(); i++ {
+			if !r.alive(i) {
+				continue
+			}
 			for _, c := range r.Tuple(i) {
 				set[c] = true
 			}
@@ -260,7 +266,8 @@ type Summary struct {
 func (d *Database) Summarize() Summary {
 	s := Summary{Predicates: make(map[string]int), Facts: d.size}
 	for _, p := range d.Preds() {
-		s.Predicates[p] = d.rels[p].Len()
+		r := d.rels[p]
+		s.Predicates[p] = r.Len() - r.ndead
 	}
 	s.Constants = len(d.Consts())
 	return s

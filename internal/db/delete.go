@@ -1,0 +1,270 @@
+package db
+
+import "repro/internal/ast"
+
+// Fact-level deletion and derivation-count support for incremental view
+// maintenance (internal/eval's Maintained views).
+//
+// Deletion is two-phased to respect the columnar arena's invariants: a
+// remove tombstones the tuple (dedup slot cleared so Has/LookupID miss it
+// immediately, arena entry marked dead) and the arena is rewritten without
+// the dead tuples by compact — called explicitly or by Freeze, so shared
+// relations are always tombstone-free and round stamps stay non-decreasing.
+// Between the two phases, set-level readers (Has, Facts, Contains, Equal)
+// are exact; positional scans and index probes may still surface dead ids,
+// so evaluation must only run over compacted databases — the maintenance
+// layer compacts after every retraction batch, at the round boundary where
+// indexes are re-frozen anyway.
+//
+// The counts column is the per-tuple derivation count of counting-based
+// maintenance: counts[i] travels with tuple i through clone and compact, so
+// a maintained output survives copy-on-write snapshots without a side table.
+
+// remove tombstones the tuple equal to args, returning false when absent.
+func (r *Relation) remove(args []ast.Const) bool {
+	if len(args) != r.arity || len(r.dedupSlot) == 0 {
+		return false
+	}
+	h := hashValues(args)
+	mask := uint64(len(r.dedupSlot) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := r.dedupSlot[i]
+		if s == 0 {
+			return false
+		}
+		if s == tombSlot {
+			continue
+		}
+		if r.dedupHash[i] == h && r.tupleEqual(s-1, args) {
+			r.dedupSlot[i] = tombSlot
+			r.dtombs++
+			if r.dead == nil {
+				r.dead = make([]bool, len(r.rounds))
+			}
+			r.dead[s-1] = true
+			r.ndead++
+			return true
+		}
+	}
+}
+
+// alive reports whether tuple i is not tombstoned.
+func (r *Relation) alive(i int) bool { return r.ndead == 0 || !r.dead[i] }
+
+// Dead returns the number of tombstoned tuples awaiting compaction.
+func (r *Relation) Dead() int { return r.ndead }
+
+// compact rewrites the arena without the dead tuples: round stamps keep
+// their values (removing elements preserves the non-decreasing order), the
+// shard views are dropped, and the dedup table and column indexes are
+// repaired rather than rebuilt — slot positions depend only on tuple
+// hashes, not ids, so surviving entries just renumber to the shifted ids
+// (removal's tombstones already cleared the dead dedup slots, and emptied
+// index chains leave probe tombstones). The arena is shifted in place, in
+// bulk spans, with no reallocation. A maintenance Apply that retracts a
+// handful of facts from a large relation therefore pays a few memmoves and
+// two table sweeps instead of a full rehash of everything. Tables are only
+// rebuilt from scratch when accumulated tombstones would degrade probes.
+func (r *Relation) compact() {
+	if r.ndead == 0 {
+		return
+	}
+	if r.shared {
+		panic("db: compact on a shared relation")
+	}
+	deadIDs := make([]int32, 0, r.ndead)
+	// shiftOf[id] = number of dead tuples below id: the id renumbering every
+	// table repair below applies, precomputed once as a flat array so the
+	// per-entry sweeps are pure reads.
+	shiftOf := make([]int32, len(r.rounds)+1)
+	for i, dd := range r.dead {
+		shiftOf[i+1] = shiftOf[i]
+		if dd {
+			deadIDs = append(deadIDs, int32(i))
+			shiftOf[i+1]++
+		}
+	}
+	dead := r.dead
+	// Shift the live spans between dead tuples down in bulk: a retraction
+	// batch kills a handful of tuples, so this is a few large memmoves, not
+	// one copy per surviving tuple.
+	n := len(r.rounds)
+	w := int(deadIDs[0])
+	for k, di := range deadIDs {
+		lo := int(di) + 1
+		hi := n
+		if k+1 < len(deadIDs) {
+			hi = int(deadIDs[k+1])
+		}
+		if lo < hi {
+			copy(r.data[w*r.arity:], r.data[lo*r.arity:hi*r.arity])
+			copy(r.rounds[w:], r.rounds[lo:hi])
+			if r.counts != nil {
+				copy(r.counts[w:], r.counts[lo:hi])
+			}
+			w += hi - lo
+		}
+	}
+	r.data = r.data[:w*r.arity]
+	r.rounds = r.rounds[:w]
+	if r.counts != nil {
+		r.counts = r.counts[:w]
+	}
+	r.dead, r.ndead = nil, 0
+	if 4*r.dtombs > len(r.dedupSlot) {
+		r.rebuildDedup()
+	} else {
+		// Renumber live slots: id+1 minus the dead count below id. Ids below
+		// the first dead tuple keep their value and ids above the last shift
+		// by the full batch — register compares that skip the shiftOf load
+		// for every slot outside the dead span.
+		first, last := deadIDs[0], deadIDs[len(deadIDs)-1]
+		all := int32(len(deadIDs))
+		for j, s := range r.dedupSlot {
+			switch {
+			case s <= 0 || s-1 < first: // empty, tombstone, or below the span
+			case s-1 > last:
+				r.dedupSlot[j] = s - all
+			default:
+				r.dedupSlot[j] = s - shiftOf[s-1]
+			}
+		}
+	}
+	// Repair the column indexes in place (ids shifted, key hashes
+	// unchanged) instead of dropping them: rebuilding an index over a large
+	// maintained relation would re-hash every tuple on every small
+	// retraction batch. The relation is private (unshared), so no concurrent
+	// reader holds the index set.
+	if set := r.indexes.Load(); set != nil {
+		for _, ix := range set.idxs {
+			ix.compactIDs(dead, shiftOf, deadIDs[0], deadIDs[len(deadIDs)-1])
+		}
+	}
+	r.shardViews.Store(nil)
+}
+
+func (r *Relation) rebuildDedup() {
+	n := 16
+	for 4*(len(r.rounds)+1) > 3*n {
+		n *= 2
+	}
+	r.dedupHash = make([]uint64, n)
+	r.dedupSlot = make([]int32, n)
+	r.dtombs = 0
+	mask := uint64(n - 1)
+	for id := range r.rounds {
+		h := hashValues(r.Tuple(id))
+		i := h & mask
+		for r.dedupSlot[i] != 0 {
+			i = (i + 1) & mask
+		}
+		r.dedupHash[i] = h
+		r.dedupSlot[i] = int32(id) + 1
+	}
+}
+
+// EnableCounts materializes the derivation-count column (all zeros when
+// first enabled). Idempotent.
+func (r *Relation) EnableCounts() {
+	if r.counts == nil {
+		r.counts = make([]int32, len(r.rounds))
+	}
+}
+
+// HasCounts reports whether the derivation-count column is materialized.
+func (r *Relation) HasCounts() bool { return r.counts != nil }
+
+// CountOf returns tuple id's derivation count (0 when counts are disabled).
+func (r *Relation) CountOf(id int32) int32 {
+	if r.counts == nil {
+		return 0
+	}
+	return r.counts[id]
+}
+
+func (r *Relation) bumpCount(id int32, delta int32) int32 {
+	r.counts[id] += delta
+	return r.counts[id]
+}
+
+// Remove deletes a ground atom, returning true if it was present. Like
+// AddTuple, the first write to a relation shared with a frozen snapshot
+// copies it (copy-on-write); the tuple is tombstoned until the next Compact
+// or Freeze.
+func (d *Database) Remove(g ast.GroundAtom) bool {
+	return d.RemoveTuple(g.Pred, g.Args)
+}
+
+// RemoveTuple deletes args as a tuple of pred, returning true if present.
+func (d *Database) RemoveTuple(pred string, args []ast.Const) bool {
+	if d.frozen {
+		panic("db: write to a frozen database (stage changes through Snapshot.Thaw)")
+	}
+	r, ok := d.rels[pred]
+	if !ok || r.arity != len(args) {
+		return false
+	}
+	if r.shared {
+		if _, present := r.lookupID(args); !present {
+			return false
+		}
+		r = r.clone()
+		d.rels[pred] = r
+	}
+	if r.remove(args) {
+		d.size--
+		return true
+	}
+	return false
+}
+
+// Compact rewrites every relation with pending tombstones (see
+// Relation.compact). Call at a round boundary, before the next evaluation
+// probes or scans the database.
+func (d *Database) Compact() {
+	if d.frozen {
+		return // frozen relations are tombstone-free by construction
+	}
+	for _, r := range d.rels {
+		if !r.shared {
+			r.compact()
+		}
+	}
+}
+
+// BumpCount adjusts the derivation count of an existing tuple by delta and
+// returns the new count, materializing the count column on first use and
+// copying a shared relation first (copy-on-write). ok=false when the tuple
+// is absent.
+func (d *Database) BumpCount(pred string, args []ast.Const, delta int32) (int32, bool) {
+	if d.frozen {
+		panic("db: write to a frozen database (stage changes through Snapshot.Thaw)")
+	}
+	r, ok := d.rels[pred]
+	if !ok || r.arity != len(args) {
+		return 0, false
+	}
+	id, present := r.lookupID(args)
+	if !present {
+		return 0, false
+	}
+	if r.shared {
+		r = r.clone()
+		d.rels[pred] = r
+	}
+	r.EnableCounts()
+	return r.bumpCount(id, delta), true
+}
+
+// TupleCount returns the derivation count of a tuple; ok=false when absent.
+func (d *Database) TupleCount(pred string, args []ast.Const) (int32, bool) {
+	r, ok := d.rels[pred]
+	if !ok || r.arity != len(args) {
+		return 0, false
+	}
+	id, present := r.lookupID(args)
+	if !present {
+		return 0, false
+	}
+	return r.CountOf(id), true
+}

@@ -30,11 +30,26 @@ type Relation struct {
 	data   []ast.Const // arena: tuple i at [i*arity : (i+1)*arity]
 	rounds []int32     // round stamp per tuple; non-decreasing
 
+	// counts, when non-nil, is the per-tuple derivation-count column used by
+	// the counting maintenance of internal/eval: counts[i] belongs to tuple i
+	// and moves with it through clone and compact. nil for relations no
+	// maintained view tracks.
+	counts []int32
+
+	// Tombstone state between a remove and the next compact: dead[i] marks
+	// tuple i deleted (len(dead) == len(rounds) while ndead > 0). Deleted
+	// tuples stay in the arena — scans over Facts/Contains skip them — until
+	// compact rewrites the arena without them at the next round boundary.
+	dead  []bool
+	ndead int
+
 	// Dedup table: open addressing, power-of-two sized. dedupSlot holds
-	// tuple id + 1 (0 = empty); dedupHash caches the full-tuple hash for
-	// cheap rejects and rehashing.
+	// tuple id + 1 (0 = empty, tombSlot = deleted; dtombs counts the
+	// latter); dedupHash caches the full-tuple hash for cheap rejects and
+	// rehashing.
 	dedupHash []uint64
 	dedupSlot []int32
+	dtombs    int
 
 	// indexes is an immutable snapshot of the column indexes, swapped
 	// atomically when an index is added so lock-free readers never observe
@@ -78,16 +93,25 @@ func (s *indexSet) find(mask uint64) *colIndex {
 // projected key owns one table slot holding the first and last tuple id
 // carrying that key; tuples sharing a key are chained in insertion order
 // through next. built records how many tuples have been incorporated, so
-// the index extends incrementally as the relation grows.
+// the index extends incrementally as the relation grows. Compaction repairs
+// the index in place (compactIDs); a key whose every tuple died leaves a
+// headTomb slot that probes walk past — the probe-chain tombstone that keeps
+// open addressing sound without rehashing the table.
 type colIndex struct {
 	cols   []int
 	hashes []uint64
-	heads  []int32 // tuple id + 1; 0 = empty slot
+	heads  []int32 // tuple id + 1; 0 = empty slot, headTomb = emptied key
 	tails  []int32 // tuple id + 1 of the chain tail
 	keys   int     // number of distinct keys
+	tombs  int     // headTomb slots awaiting the next grow
 	next   []int32 // next[id] = next tuple id with the same key, -1 = end
 	built  int
 }
+
+// headTomb marks a slot whose key lost its last tuple to compaction: probes
+// walk past it (the slot may sit mid-chain for other keys) and grow drops
+// it.
+const headTomb = int32(-1)
 
 func newRelation(arity int) *Relation {
 	return &Relation{arity: arity}
@@ -187,6 +211,10 @@ func (r *Relation) projEqualTuples(a, b int32, cols []int) bool {
 	return true
 }
 
+// tombSlot marks a dedup slot whose tuple was deleted: probes walk past it,
+// inserts may reuse it.
+const tombSlot = int32(-1)
+
 // lookupID probes the dedup table for a tuple equal to args.
 func (r *Relation) lookupID(args []ast.Const) (int32, bool) {
 	if len(r.dedupSlot) == 0 {
@@ -199,7 +227,7 @@ func (r *Relation) lookupID(args []ast.Const) (int32, bool) {
 		if s == 0 {
 			return 0, false
 		}
-		if r.dedupHash[i] == h && r.tupleEqual(s-1, args) {
+		if s != tombSlot && r.dedupHash[i] == h && r.tupleEqual(s-1, args) {
 			return s - 1, true
 		}
 	}
@@ -218,25 +246,40 @@ func (r *Relation) insert(args []ast.Const, round int32) bool {
 	if len(args) != r.arity {
 		panic("db: tuple arity mismatch")
 	}
-	if 4*(len(r.rounds)+1) > 3*len(r.dedupSlot) {
+	if 4*(len(r.rounds)-r.ndead+r.dtombs+1) > 3*len(r.dedupSlot) {
 		r.growDedup()
 	}
 	h := hashValues(args)
 	mask := uint64(len(r.dedupSlot) - 1)
 	i := h & mask
+	free := int64(-1)
 	for {
 		s := r.dedupSlot[i]
 		if s == 0 {
 			break
 		}
-		if r.dedupHash[i] == h && r.tupleEqual(s-1, args) {
+		if s == tombSlot {
+			if free < 0 {
+				free = int64(i)
+			}
+		} else if r.dedupHash[i] == h && r.tupleEqual(s-1, args) {
 			return false
 		}
 		i = (i + 1) & mask
 	}
+	if free >= 0 {
+		i = uint64(free)
+		r.dtombs--
+	}
 	id := int32(len(r.rounds))
 	r.data = append(r.data, args...)
 	r.rounds = append(r.rounds, round)
+	if r.counts != nil {
+		r.counts = append(r.counts, 0)
+	}
+	if r.dead != nil {
+		r.dead = append(r.dead, false)
+	}
 	r.dedupHash[i] = h
 	r.dedupSlot[i] = id + 1
 	return true
@@ -251,7 +294,7 @@ func (r *Relation) growDedup() {
 	slots := make([]int32, n)
 	mask := uint64(n - 1)
 	for i, s := range r.dedupSlot {
-		if s == 0 {
+		if s <= 0 {
 			continue
 		}
 		h := r.dedupHash[i]
@@ -264,6 +307,7 @@ func (r *Relation) growDedup() {
 	}
 	r.dedupHash = hashes
 	r.dedupSlot = slots
+	r.dtombs = 0
 }
 
 // clone deep-copies the relation, index state included: the arena, round
@@ -271,9 +315,15 @@ func (r *Relation) growDedup() {
 // column indexes over spares clone-heavy callers (minimize, chase, equivopt)
 // from rebuilding them on the first probe of every copy.
 func (r *Relation) clone() *Relation {
-	c := &Relation{arity: r.arity}
+	c := &Relation{arity: r.arity, ndead: r.ndead, dtombs: r.dtombs}
 	c.data = append([]ast.Const(nil), r.data...)
 	c.rounds = append([]int32(nil), r.rounds...)
+	if r.counts != nil {
+		c.counts = append([]int32(nil), r.counts...)
+	}
+	if r.dead != nil {
+		c.dead = append([]bool(nil), r.dead...)
+	}
 	c.dedupHash = append([]uint64(nil), r.dedupHash...)
 	c.dedupSlot = append([]int32(nil), r.dedupSlot...)
 	if set := r.indexes.Load(); set != nil {
@@ -294,6 +344,7 @@ func (ix *colIndex) clone() *colIndex {
 		heads:  append([]int32(nil), ix.heads...),
 		tails:  append([]int32(nil), ix.tails...),
 		keys:   ix.keys,
+		tombs:  ix.tombs,
 		next:   append([]int32(nil), ix.next...),
 		built:  ix.built,
 	}
@@ -312,7 +363,7 @@ func ColMask(cols []int) uint64 {
 func (ix *colIndex) extend(r *Relation) {
 	n := r.Len()
 	for ix.built < n {
-		if 4*(ix.keys+1) > 3*len(ix.heads) {
+		if 4*(ix.keys+ix.tombs+1) > 3*len(ix.heads) {
 			ix.grow()
 		}
 		id := int32(ix.built)
@@ -328,7 +379,7 @@ func (ix *colIndex) extend(r *Relation) {
 				ix.keys++
 				break
 			}
-			if ix.hashes[i] == h && r.projEqualTuples(head-1, id, ix.cols) {
+			if head != headTomb && ix.hashes[i] == h && r.projEqualTuples(head-1, id, ix.cols) {
 				ix.next[ix.tails[i]-1] = id
 				ix.tails[i] = id + 1
 				break
@@ -350,7 +401,7 @@ func (ix *colIndex) grow() {
 	tails := make([]int32, n)
 	mask := uint64(n - 1)
 	for i, hd := range ix.heads {
-		if hd == 0 {
+		if hd <= 0 { // empty or headTomb: rehash drops probe tombstones
 			continue
 		}
 		h := ix.hashes[i]
@@ -363,6 +414,65 @@ func (ix *colIndex) grow() {
 		tails[j] = ix.tails[i]
 	}
 	ix.hashes, ix.heads, ix.tails = hashes, heads, tails
+	ix.tombs = 0
+}
+
+// compactIDs repairs the index across an arena compaction: dead flags the
+// removed tuple ids, shiftOf[id] counts the dead ids below id — every
+// surviving id shifts down by that amount — and first/last bound the dead
+// span so ids outside it renumber with register compares alone. Chains are
+// walked once, dead members unlinked and survivors renumbered; key hashes
+// don't change, so the table layout is untouched and nothing is rehashed. A
+// chain losing every member leaves a headTomb so probes for other keys keep
+// walking.
+func (ix *colIndex) compactIDs(dead []bool, shiftOf []int32, first, last int32) {
+	nb := int32(ix.built) - shiftOf[ix.built]
+	all := shiftOf[len(shiftOf)-1]
+	next := make([]int32, nb)
+	for i := range next {
+		next[i] = -1
+	}
+	for si, hd := range ix.heads {
+		if hd <= 0 {
+			continue
+		}
+		var nh, nt int32
+		id := hd - 1
+		for {
+			nxt := ix.next[id]
+			if id < first || id > last || !dead[id] {
+				nid := id
+				switch {
+				case id < first: // below the dead span: unshifted
+				case id > last:
+					nid = id - all
+				default:
+					nid = id - shiftOf[id]
+				}
+				if nh == 0 {
+					nh = nid + 1
+				} else {
+					next[nt-1] = nid
+				}
+				nt = nid + 1
+			}
+			if nxt < 0 {
+				break
+			}
+			id = nxt
+		}
+		if nh == 0 {
+			ix.heads[si] = headTomb
+			ix.tails[si] = 0
+			ix.keys--
+			ix.tombs++
+		} else {
+			ix.heads[si] = nh
+			ix.tails[si] = nt
+		}
+	}
+	ix.next = next
+	ix.built = int(nb)
 }
 
 // findHead returns the id of the first tuple whose projection onto ix.cols
@@ -378,7 +488,7 @@ func (ix *colIndex) findHead(r *Relation, key []ast.Const) int32 {
 		if head == 0 {
 			return -1
 		}
-		if ix.hashes[i] == h && r.projEqual(head-1, ix.cols, key) {
+		if head != headTomb && ix.hashes[i] == h && r.projEqual(head-1, ix.cols, key) {
 			return head - 1
 		}
 	}

@@ -40,6 +40,10 @@ func (d *Database) Freeze() *Snapshot {
 	d.frozen = true
 	for _, r := range d.rels {
 		if !r.shared {
+			// Round boundary: sweep any tombstones left by RemoveTuple so a
+			// shared relation is always dead-tuple-free — snapshot readers
+			// scan and probe the arena positionally.
+			r.compact()
 			r.shared = true
 		}
 	}

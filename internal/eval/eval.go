@@ -173,6 +173,16 @@ type Stats struct {
 	// busiest shard's firings and the round's per-shard mean — a direct
 	// measure of how well the planner's partition columns spread the work.
 	ShardImbalance int
+	// Applies counts Maintained.Apply batches absorbed by a maintained view.
+	Applies int
+	// CountAdjusted counts derivation-count updates made by the counting
+	// maintenance of non-recursive strata (one per tuple whose count moved).
+	CountAdjusted int
+	// Overdeleted / Rederived count the facts the DRed phases of recursive
+	// strata first over-deleted and then restored from surviving support;
+	// their gap is the net deletion work a retraction batch caused.
+	Overdeleted int
+	Rederived   int
 }
 
 // AddCache accumulates o's cache counters into s.
@@ -201,6 +211,14 @@ func (s *Stats) AddSharding(o Stats) {
 	s.ShardRounds += o.ShardRounds
 	s.DeltaExchanged += o.DeltaExchanged
 	s.ShardImbalance += o.ShardImbalance
+}
+
+// AddMaintain accumulates o's incremental-maintenance counters into s.
+func (s *Stats) AddMaintain(o Stats) {
+	s.Applies += o.Applies
+	s.CountAdjusted += o.CountAdjusted
+	s.Overdeleted += o.Overdeleted
+	s.Rederived += o.Rederived
 }
 
 // Eval computes P(input): the least DB containing input and closed under the

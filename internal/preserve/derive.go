@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/eval"
+	"repro/internal/unfold"
 )
 
 // Derive returns a session for the program obtained from s by a single-rule
@@ -23,17 +24,20 @@ import (
 //     (unfold.Result.Patch) instead of re-unfolding; entries whose patch is
 //     refused are dropped and rebuilt lazily on next use.
 //
-// Deltas that change the head predicate, delete a rule, or introduce
-// negation can shrink or reshape the intentional-predicate set, so they fall
-// back to a fresh session (still through the shared plan cache). The
-// receiver is not mutated and both sessions stay usable.
+// Deletions transfer too (unfold.Result.PatchDelete re-layers the retained
+// hypergraphs with no unification), except when the deleted rule was the
+// last one heading its predicate: that shrinks the intentional-predicate
+// set the depth-k machinery keys on, so those deltas — like head changes
+// and introduced negation — fall back to a fresh session (still through
+// the shared plan cache). The receiver is not mutated and both sessions
+// stay usable.
 func (s *Session) Derive(ruleIdx int, newRule *ast.Rule) (*Session, error) {
 	if ruleIdx < 0 || ruleIdx >= len(s.p.Rules) {
 		return nil, fmt.Errorf("preserve: Derive: rule index %d out of range (%d rules)", ruleIdx, len(s.p.Rules))
 	}
 	old := s.p.Rules[ruleIdx]
 	if newRule == nil {
-		return s.adopt(NewSessionCache(s.p.WithoutRule(ruleIdx), s.cache))
+		return s.deriveDelete(ruleIdx)
 	}
 	if err := newRule.Validate(); err != nil {
 		return nil, err
@@ -86,6 +90,69 @@ func (s *Session) Derive(ruleIdx int, newRule *ast.Rule) (*Session, error) {
 	return ns, nil
 }
 
+// deriveDelete carries the session across a one-rule deletion: the one-step
+// evaluator delta-patches through eval.Prepared.Derive, combination options
+// transfer for every predicate but the deleted rule's head, and depth-k
+// entries re-layer their unfolding hypergraphs via unfold.Result.PatchDelete
+// — the ROADMAP carry-over that previously forced a full session rebuild.
+func (s *Session) deriveDelete(ruleIdx int) (*Session, error) {
+	old := s.p.Rules[ruleIdx]
+	np := s.p.WithoutRule(ruleIdx)
+	// Deleting the last rule heading a predicate turns it extensional: the
+	// intentional set, and with it the meaning of every depth entry and
+	// option table, reshapes. Fall back to a fresh build.
+	stillIDB := false
+	for i, r := range s.p.Rules {
+		if i != ruleIdx && r.Head.Pred == old.Head.Pred {
+			stillIDB = true
+			break
+		}
+	}
+	if !stillIDB {
+		return s.adopt(NewSessionCache(np, s.cache))
+	}
+
+	prep, hit, err := s.cache.GetOrBuild(np, eval.Options{}, func() (*eval.Prepared, error) {
+		return s.prep.Derive(ruleIdx, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.countPrepare(hit)
+	ns := &Session{
+		p:       prep.Program(),
+		prep:    prep,
+		idb:     s.idb, // head still intentional: the intentional set is unchanged
+		cache:   s.cache,
+		prelim:  make(map[int]*depthEntry),
+		partial: make(map[int]*depthEntry),
+		stats:   s.stats,
+	}
+	if s.opts != nil {
+		ns.opts = transferOptions(s.opts, ns.p, ns.idb, old.Head.Pred)
+	}
+
+	// A deleted rule with an intentional body was never part of the
+	// initialization program, so the depth-1 preliminary entry transfers.
+	if e, ok := s.prelim[1]; ok && s.hasIntentionalBody(old) {
+		ns.prelim[1] = e
+	}
+	for depth, e := range s.prelim {
+		if depth <= 1 {
+			continue
+		}
+		if ne, ok := s.patchEntryDelete(e, ruleIdx, false); ok {
+			ns.prelim[depth] = ne
+		}
+	}
+	for depth, e := range s.partial {
+		if ne, ok := s.patchEntryDelete(e, ruleIdx, true); ok {
+			ns.partial[depth] = ne
+		}
+	}
+	return ns, nil
+}
+
 // adopt folds a from-scratch fallback session into the receiver's Derive
 // lineage: the counters it accumulated while being built (its prepare
 // lookup) move into the shared stats block, which the new session then
@@ -112,6 +179,24 @@ func (s *Session) patchEntry(e *depthEntry, ruleIdx int, newRule ast.Rule, parti
 	if err != nil {
 		return nil, false
 	}
+	return s.entryFromResult(pres, partial)
+}
+
+// patchEntryDelete is patchEntry for a one-rule deletion, carried by
+// unfold.Result.PatchDelete.
+func (s *Session) patchEntryDelete(e *depthEntry, ruleIdx int, partial bool) (*depthEntry, bool) {
+	if !e.res.Patchable() {
+		return nil, false
+	}
+	pres, err := e.res.PatchDelete(ruleIdx)
+	if err != nil {
+		return nil, false
+	}
+	return s.entryFromResult(pres, partial)
+}
+
+// entryFromResult assembles a depth entry around a patched unfolding.
+func (s *Session) entryFromResult(pres unfold.Result, partial bool) (*depthEntry, bool) {
 	prep, hit, err := s.cache.PrepareHit(pres.Program, eval.Options{})
 	if err != nil {
 		return nil, false

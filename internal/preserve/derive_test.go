@@ -262,3 +262,108 @@ func TestDeriveConcurrentSessions(t *testing.T) {
 		}
 	}
 }
+
+// deletable picks a random rule whose head predicate has another rule, so
+// deleting it keeps the intentional set — the delta deriveDelete transfers
+// rather than rebuilds. ok=false when no rule qualifies.
+func deletable(p *ast.Program, rng *rand.Rand) (int, bool) {
+	heads := make(map[string]int)
+	for _, r := range p.Rules {
+		heads[r.Head.Pred]++
+	}
+	for attempt := 0; attempt < 12; attempt++ {
+		i := rng.Intn(len(p.Rules))
+		if heads[p.Rules[i].Head.Pred] > 1 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// TestDeriveDeleteMatchesFreshSession is the deletion half of the Derive
+// oracle (the ROADMAP carry-over): a session carried across one-rule
+// deletions — alone and interleaved with weakenings — answers every
+// preservation question exactly as a session built fresh over the final
+// program. The layered fixture keeps every head predicate two-ruled, so
+// each deletion takes the transfer path, not the fallback.
+func TestDeriveDeleteMatchesFreshSession(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z), B(z, z).
+		G(x, z) :- G(x, y), G(y, z).
+		H(x, z) :- G(x, z), B(x, z).
+		H(x, z) :- H(x, y), A(y, z).
+	`)
+	tgds := []ast.TGD{
+		parser.MustParseTGD("G(x, z) -> A(x, w)."),
+		parser.MustParseTGD("H(x, z) -> G(x, z)."),
+		parser.MustParseTGD("G(x, y), B(y, z) -> H(x, z)."),
+	}
+	for i := 0; i < len(p.Rules); i++ {
+		s, err := preserve.NewSessionCache(p, eval.NewPlanCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts(t, s, tgds) // warm every depth entry so deletion patches, not rebuilds
+		ns, err := s.Derive(i, nil)
+		if err != nil {
+			t.Fatalf("rule %d: %v", i, err)
+		}
+		fresh, err := preserve.NewSessionCache(p.WithoutRule(i), eval.NewPlanCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := verdicts(t, ns, tgds), verdicts(t, fresh, tgds); got != want {
+			t.Fatalf("rule %d: derived %s ≠ fresh %s", i, got, want)
+		}
+	}
+
+	// Randomized interleaved chains over generated programs.
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := workload.RandomProgram(rng, 3+rng.Intn(3))
+		if q.Validate() != nil {
+			continue
+		}
+		s, err := preserve.NewSessionCache(q, eval.NewPlanCache(0))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		verdicts(t, s, deriveTGDs)
+		cur := q
+		for step := 0; step < 3 && len(cur.Rules) > 2; step++ {
+			var ns *preserve.Session
+			if step%2 == 0 {
+				i, ok := deletable(cur, rng)
+				if !ok {
+					break
+				}
+				ns, err = s.Derive(i, nil)
+				if err != nil {
+					t.Fatalf("seed %d step %d: delete: %v", seed, step, err)
+				}
+				cur = cur.WithoutRule(i)
+			} else {
+				i, nr, ok := weakening(cur, rng)
+				if !ok {
+					break
+				}
+				ns, err = s.Derive(i, &nr)
+				if err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				cur = cur.ReplaceRule(i, nr)
+			}
+			fresh, err := preserve.NewSessionCache(cur, eval.NewPlanCache(0))
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			got := verdicts(t, ns, deriveTGDs)
+			want := verdicts(t, fresh, deriveTGDs)
+			if got != want {
+				t.Fatalf("seed %d step %d: derived session disagrees with fresh\nderived: %s\nfresh:   %s\nprogram:\n%s",
+					seed, step, got, want, cur)
+			}
+			s = ns
+		}
+	}
+}

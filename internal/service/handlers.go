@@ -17,7 +17,8 @@ import (
 // Handler returns the server's HTTP mux (go 1.22 method+wildcard patterns):
 //
 //	POST /v1/programs/{name}            register a program version
-//	POST /v1/programs/{name}/facts     stage a tenant database version
+//	POST /v1/programs/{name}/facts     apply a mutation batch (assert/retract)
+//	POST /v1/programs/{name}/subscriptions  changefeed of maintained output diffs
 //	POST /v1/programs/{name}/eval      evaluate / query under a budget
 //	POST /v1/programs/{name}/minimize  Fig. 2 minimization
 //	POST /v1/programs/{name}/compare   uniform equivalence of two versions
@@ -29,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/programs/{name}", s.handleRegister)
 	mux.HandleFunc("POST /v1/programs/{name}/facts", s.handleFacts)
+	mux.HandleFunc("POST /v1/programs/{name}/subscriptions", s.handleSubscribe)
 	mux.HandleFunc("POST /v1/programs/{name}/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/programs/{name}/minimize", s.handleMinimize)
 	mux.HandleFunc("POST /v1/programs/{name}/compare", s.handleCompare)
@@ -141,11 +143,17 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleFacts applies one mutation envelope {"assert": ..., "retract": ...}
+// to a tenant database. The legacy "facts" field remains as an alias for
+// "assert" (the pre-envelope wire format) and earns a deprecation note in
+// the response; setting both is an error.
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req struct {
-		Tenant string `json:"tenant"`
-		Facts  string `json:"facts"`
+		Tenant  string `json:"tenant"`
+		Assert  string `json:"assert"`
+		Retract string `json:"retract"`
+		Facts   string `json:"facts"` // deprecated alias for Assert
 	}
 	if err := decodeBody(r, &req); err != nil {
 		s.writeError(w, err)
@@ -155,12 +163,26 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &RequestError{Status: 400, Code: "missing_tenant", Err: fmt.Errorf("service: tenant required")})
 		return
 	}
-	version, size, err := s.LoadFacts(r.PathValue("name"), req.Tenant, req.Facts)
+	deprecated := false
+	if req.Facts != "" {
+		if req.Assert != "" {
+			s.writeError(w, &RequestError{Status: 400, Code: "conflicting_fields",
+				Err: fmt.Errorf(`service: "facts" is a deprecated alias for "assert"; set only one`)})
+			return
+		}
+		req.Assert = req.Facts
+		deprecated = true
+	}
+	version, size, err := s.MutateFacts(r.PathValue("name"), req.Tenant, req.Assert, req.Retract)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, 200, map[string]any{"tenant": req.Tenant, "db_version": version, "size": size})
+	resp := map[string]any{"tenant": req.Tenant, "db_version": version, "size": size}
+	if deprecated {
+		resp["deprecated"] = `field "facts" is deprecated; use "assert"`
+	}
+	writeJSON(w, 200, resp)
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {

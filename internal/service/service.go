@@ -82,6 +82,11 @@ type programVersion struct {
 type tenantState struct {
 	versions map[int]*db.Snapshot
 	latest   int
+
+	// views are the tenant's maintained materializations, keyed by program
+	// version — created by the first subscription against that version and
+	// kept current by every later mutation batch (subscribe.go).
+	views map[int]*liveView
 }
 
 // entry returns the registered entry for name, or nil.
@@ -147,27 +152,38 @@ func (e *programEntry) versionEntry(v int) (*programVersion, error) {
 	return pv, nil
 }
 
-// LoadFacts parses facts under the entry's symbol table and stages them as
-// the tenant's next database version (copy-on-write over the frozen
-// predecessor). It returns the new version and its total size.
+// LoadFacts stages src's facts as assertions against the tenant's next
+// database version: the assert-only form of MutateFacts.
 func (s *Server) LoadFacts(name, tenant, src string) (version, size int, err error) {
+	return s.MutateFacts(name, tenant, src, "")
+}
+
+// MutateFacts applies one mutation batch — assertSrc's facts added,
+// retractSrc's facts removed — staging the result as the tenant's next
+// database version (copy-on-write over the frozen predecessor). Batch
+// semantics match core.DatabaseDelta: retracting an absent fact or
+// asserting a present one is a no-op, and a fact in both halves nets to
+// "present". Every live view of the tenant is maintained under the same
+// lock and its diff fanned out to subscribers, so changefeed frame order is
+// mutation order. Returns the new database version and its total size.
+func (s *Server) MutateFacts(name, tenant, assertSrc, retractSrc string) (version, size int, err error) {
 	e := s.entry(name)
 	if e == nil {
 		return 0, 0, errUnknownProgram(name)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	res, err := parser.ParseWithSymbols(src, e.syms)
+	asserts, err := e.parseFactsLocked(assertSrc)
 	if err != nil {
-		return 0, 0, &RequestError{Status: 400, Code: "parse_error", Err: err}
+		return 0, 0, err
 	}
-	if len(res.Program.Rules) > 0 || len(res.TGDs) > 0 {
-		return 0, 0, &RequestError{Status: 400, Code: "rules_in_facts",
-			Err: fmt.Errorf("service: fact source carries rules or tgds; register them as a program version")}
+	retracts, err := e.parseFactsLocked(retractSrc)
+	if err != nil {
+		return 0, 0, err
 	}
 	t := e.tenants[tenant]
 	if t == nil {
-		t = &tenantState{versions: make(map[int]*db.Snapshot)}
+		t = &tenantState{versions: make(map[int]*db.Snapshot), views: make(map[int]*liveView)}
 		e.tenants[tenant] = t
 	}
 	var w *db.Database
@@ -176,12 +192,43 @@ func (s *Server) LoadFacts(name, tenant, src string) (version, size int, err err
 	} else {
 		w = db.New()
 	}
-	for _, f := range res.Facts {
-		w.AddTuple(f.Pred, f.Args)
+	inAssert := make(map[string]bool, len(asserts))
+	for _, g := range asserts {
+		inAssert[g.Key()] = true
+	}
+	removed := false
+	for _, g := range retracts {
+		if !inAssert[g.Key()] && w.Remove(g) {
+			removed = true
+		}
+	}
+	if removed {
+		w.Compact()
+	}
+	for _, g := range asserts {
+		w.Add(g)
 	}
 	t.latest++
 	t.versions[t.latest] = w.Freeze()
+	e.broadcastLocked(t, t.latest, core.DatabaseDelta{Assert: asserts, Retract: retracts})
 	return t.latest, w.Len(), nil
+}
+
+// parseFactsLocked parses a fact source under the entry's symbol table;
+// callers hold e.mu. An empty source parses to no facts.
+func (e *programEntry) parseFactsLocked(src string) ([]ast.GroundAtom, error) {
+	if src == "" {
+		return nil, nil
+	}
+	res, err := parser.ParseWithSymbols(src, e.syms)
+	if err != nil {
+		return nil, &RequestError{Status: 400, Code: "parse_error", Err: err}
+	}
+	if len(res.Program.Rules) > 0 || len(res.TGDs) > 0 {
+		return nil, &RequestError{Status: 400, Code: "rules_in_facts",
+			Err: fmt.Errorf("service: fact source carries rules or tgds; register them as a program version")}
+	}
+	return res.Facts, nil
 }
 
 // snapshot resolves a tenant's database version (0 = latest).
@@ -247,9 +294,14 @@ func (e *programEntry) formatRows(rows [][]ast.Const) [][]string {
 // formatFacts renders a database's facts under the entry's symbol table,
 // sorted for a deterministic wire format.
 func (e *programEntry) formatFacts(d *db.Database) []string {
-	facts := d.Facts()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.formatFactsLocked(d)
+}
+
+// formatFactsLocked is formatFacts for callers already holding e.mu.
+func (e *programEntry) formatFactsLocked(d *db.Database) []string {
+	facts := d.Facts()
 	out := make([]string, len(facts))
 	for i, f := range facts {
 		out[i] = f.Format(e.syms)
@@ -276,6 +328,10 @@ type statsJSON struct {
 	ShardRounds        int `json:"shard_rounds"`
 	DeltaExchanged     int `json:"delta_exchanged"`
 	ShardImbalance     int `json:"shard_imbalance"`
+	Applies            int `json:"applies"`
+	CountAdjusted      int `json:"count_adjusted"`
+	Overdeleted        int `json:"overdeleted"`
+	Rederived          int `json:"rederived"`
 }
 
 func toStatsJSON(st eval.Stats) statsJSON {
@@ -295,6 +351,10 @@ func toStatsJSON(st eval.Stats) statsJSON {
 		ShardRounds:        st.ShardRounds,
 		DeltaExchanged:     st.DeltaExchanged,
 		ShardImbalance:     st.ShardImbalance,
+		Applies:            st.Applies,
+		CountAdjusted:      st.CountAdjusted,
+		Overdeleted:        st.Overdeleted,
+		Rederived:          st.Rederived,
 	}
 }
 

@@ -159,6 +159,38 @@ func (g *graph) cloneFor(np *ast.Program, dropRoot int) *graph {
 	return ng
 }
 
+// cloneForDelete derives the graph for a deletion patch: edges rooted at
+// the deleted rule are dropped, surviving roots are renumbered into the
+// shortened program's index space (fresh uedge values — the parent graph's
+// edges stay valid), and per-run node state resets while keeping coverage.
+func (g *graph) cloneForDelete(np *ast.Program, dropRoot int) *graph {
+	ng := &graph{
+		kind:     g.kind,
+		src:      np,
+		depth:    g.depth,
+		maxRules: g.maxRules,
+		ar:       g.ar,
+		state:    make([]nodeState, len(g.state)),
+		edges:    make([]*uedge, 0, len(g.edges)),
+		edgeSeen: make(map[string]struct{}, len(g.edges)),
+	}
+	for i, st := range g.state {
+		ng.state[i] = nodeState{covered: st.covered}
+	}
+	for _, e := range g.edges {
+		if int(e.root) == dropRoot {
+			continue
+		}
+		root := e.root
+		if int(root) > dropRoot {
+			root--
+		}
+		ng.edges = append(ng.edges, &uedge{root: root, children: e.children, result: e.result})
+		ng.edgeSeen[edgeKey(root, e.children)] = struct{}{}
+	}
+	return ng
+}
+
 func edgeKey(root int32, children []int32) string {
 	var sb strings.Builder
 	sb.Grow(4 + 4*len(children))

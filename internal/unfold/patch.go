@@ -26,6 +26,92 @@ import (
 // be patched again. Truncated results and deltas Patch cannot absorb
 // (deletion, head change, cap overflow during the patch) return an error
 // wrapping ErrUnpatchable; callers rebuild fresh.
+// PatchDelete re-unfolds the result across a one-rule deletion of the
+// source program. Deletion is monotone-decreasing: no new derivation tree
+// can appear, and every surviving tree was already recorded as edges of the
+// retained hypergraph. The patch therefore does no unification at all — it
+// drops the deleted rule's edges, renumbers surviving roots into the
+// shortened program's index space, and re-layers the remainder by the same
+// availability dynamic programming Patch uses. (Heights only grow under
+// deletion, so no combination over the surviving nodes can be missing from
+// the edge table.) The result is exactly what a fresh ToDepth/Partial of
+// the shortened program would produce, and can itself be patched again.
+//
+// Deleting the last rule heading a predicate turns it extensional, which
+// reclassifies initialization rules (ToDepth) and leaf positions (Partial)
+// — derivations the retained hypergraph never recorded. Those deltas return
+// ErrUnpatchable; callers rebuild fresh.
+func (res Result) PatchDelete(ruleIdx int) (Result, error) {
+	g := res.g
+	if g == nil || !res.Complete {
+		return Result{}, fmt.Errorf("%w: no derivation graph (truncated or zero Result)", ErrUnpatchable)
+	}
+	if ruleIdx < 0 || ruleIdx >= len(g.src.Rules) {
+		return Result{}, fmt.Errorf("unfold: rule index %d out of range [0,%d)", ruleIdx, len(g.src.Rules))
+	}
+	stillIDB := false
+	for i, r := range g.src.Rules {
+		if i != ruleIdx && r.Head.Pred == g.src.Rules[ruleIdx].Head.Pred {
+			stillIDB = true
+			break
+		}
+	}
+	if !stillIDB {
+		return Result{}, fmt.Errorf("%w: deleting the last rule of predicate %q changes the intentional set",
+			ErrUnpatchable, g.src.Rules[ruleIdx].Head.Pred)
+	}
+	np := g.src.WithoutRule(ruleIdx)
+	ng := g.cloneForDelete(np, ruleIdx)
+	rs := ng.newRun(np.IDBPredicates())
+
+	pending := append([]*uedge(nil), ng.edges...)
+	activate := func(d int32) {
+		kept := pending[:0]
+		for _, e := range pending {
+			if ng.st(e.result).height != 0 {
+				continue
+			}
+			ready := true
+			for _, c := range e.children {
+				if c == leafChild {
+					continue
+				}
+				h := ng.st(c).height
+				if h == 0 || h > d-1 {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				kept = append(kept, e)
+				continue
+			}
+			rs.markAvail(e.result, d)
+		}
+		pending = kept
+	}
+
+	for _, e := range ng.edges {
+		base := true
+		for _, c := range e.children {
+			if c != leafChild {
+				base = false
+				break
+			}
+		}
+		if base {
+			rs.markAvail(e.result, 1)
+		}
+	}
+	for d := int32(2); d <= int32(ng.depth); d++ {
+		if rs.newAt(d-1) == 0 {
+			break
+		}
+		activate(d)
+	}
+	return rs.finish(), nil
+}
+
 func (res Result) Patch(ruleIdx int, newRule ast.Rule) (Result, error) {
 	g := res.g
 	if g == nil || !res.Complete {

@@ -152,3 +152,156 @@ func TestPatchRejects(t *testing.T) {
 		t.Fatal("zero result accepted a patch")
 	}
 }
+
+// deletableRule picks a random rule whose head predicate has another rule,
+// so the deletion keeps the intentional set — the delta shape PatchDelete
+// absorbs. ok=false when no rule qualifies.
+func deletableRule(q *ast.Program, rng *rand.Rand) (int, bool) {
+	heads := make(map[string]int)
+	for _, r := range q.Rules {
+		heads[r.Head.Pred]++
+	}
+	for attempt := 0; attempt < 12; attempt++ {
+		i := rng.Intn(len(q.Rules))
+		if heads[q.Rules[i].Head.Pred] > 1 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// TestPatchDeleteMatchesFreshUnfold is the oracle property of the deletion
+// patch: a Result carried through an interleaved chain of PatchDelete and
+// Patch deltas is byte-identical (canonical program string) to a fresh
+// unfolding of the final program, for both engines, and stays patchable.
+func TestPatchDeleteMatchesFreshUnfold(t *testing.T) {
+	kinds := []struct {
+		name  string
+		build func(*ast.Program, int, int) (unfold.Result, error)
+	}{
+		{"ToDepth", unfold.ToDepth},
+		{"Partial", unfold.Partial},
+	}
+	for _, kind := range kinds {
+		for seed := int64(0); seed < 40; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			q := workload.RandomProgram(rng, 3+rng.Intn(3))
+			if q.Validate() != nil || q.HasNegation() {
+				continue
+			}
+			for depth := 2; depth <= 3; depth++ {
+				res, err := kind.build(q, depth, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := q
+				for step := 0; step < 4 && res.Patchable() && len(cur.Rules) > 2; step++ {
+					var next unfold.Result
+					if step%2 == 0 {
+						i, ok := deletableRule(cur, rng)
+						if !ok {
+							break
+						}
+						next, err = res.PatchDelete(i)
+						if err != nil {
+							t.Fatalf("%s seed %d depth %d step %d: delete: %v", kind.name, seed, depth, step, err)
+						}
+						cur = cur.WithoutRule(i)
+					} else {
+						i, nr, ok := weakenDelta(cur, rng)
+						if !ok {
+							break
+						}
+						next, err = res.Patch(i, nr)
+						if err != nil {
+							t.Fatalf("%s seed %d depth %d step %d: patch: %v", kind.name, seed, depth, step, err)
+						}
+						cur = cur.ReplaceRule(i, nr)
+					}
+					fresh, err := kind.build(cur, depth, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := next.Program.CanonicalString(), fresh.Program.CanonicalString(); got != want {
+						t.Fatalf("%s seed %d depth %d step %d: patched ≠ fresh\npatched:\n%s\nfresh:\n%s\nprogram:\n%s",
+							kind.name, seed, depth, step, got, want, cur)
+					}
+					if next.Complete != fresh.Complete {
+						t.Fatalf("%s seed %d depth %d step %d: complete %v ≠ %v",
+							kind.name, seed, depth, step, next.Complete, fresh.Complete)
+					}
+					res = next
+				}
+			}
+		}
+	}
+}
+
+// TestPatchDeleteLayered pins the deletion patch on the multi-SCC shape:
+// deleting any one rule (the layered program keeps every head predicate
+// two-ruled except none — all deletions are exercised) must re-layer the
+// cascade exactly as a fresh unfolding of the shortened program.
+func TestPatchDeleteLayered(t *testing.T) {
+	p := parser.MustParseProgram(`
+		G(x, z) :- A(x, z), B(z, z).
+		G(x, z) :- G(x, y), G(y, z).
+		H(x, z) :- G(x, z), B(x, z).
+		H(x, z) :- H(x, y), A(y, z).
+	`)
+	for depth := 2; depth <= 3; depth++ {
+		for i := 0; i < len(p.Rules); i++ {
+			res, err := unfold.Partial(p, depth, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			patched, err := res.PatchDelete(i)
+			if err != nil {
+				t.Fatalf("rule %d depth %d: %v", i, depth, err)
+			}
+			fresh, err := unfold.Partial(p.WithoutRule(i), depth, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if patched.Program.CanonicalString() != fresh.Program.CanonicalString() {
+				t.Fatalf("rule %d depth %d: patched ≠ fresh\npatched:\n%s\nfresh:\n%s",
+					i, depth, patched.Program, fresh.Program)
+			}
+		}
+	}
+}
+
+// TestPatchDeleteRejects covers the deltas PatchDelete must refuse.
+func TestPatchDeleteRejects(t *testing.T) {
+	p := workload.TransitiveClosure()
+	res, err := unfold.ToDepth(p, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.PatchDelete(99); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	// Deleting the last rule of a predicate changes the intentional set.
+	layered := parser.MustParseProgram(`
+		P(x, y) :- A(x, y).
+		Q(x, y) :- P(x, y), B(x, y).
+	`)
+	lres, err := unfold.ToDepth(layered, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range layered.Rules {
+		if _, err := lres.PatchDelete(i); err == nil {
+			t.Fatalf("deleting the only rule of a predicate (rule %d) accepted", i)
+		}
+	}
+	trunc, err := unfold.ToDepth(p, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc.Complete {
+		t.Fatal("expected truncated result")
+	}
+	if _, err := trunc.PatchDelete(0); err == nil {
+		t.Fatal("truncated result accepted a deletion patch")
+	}
+}
