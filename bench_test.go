@@ -916,3 +916,49 @@ func BenchmarkServiceWarmVsCold(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAblation_TerminationFastPath measures what the termination
+// classifier buys the chase on a full (existential-free) tgd set: the
+// classified arm collapses the rule/tgd round alternation into one prepared
+// fixpoint, while the raw-budget arm (classification disabled) replays the
+// staged pipeline round by round under the default budget.
+func BenchmarkAblation_TerminationFastPath(b *testing.B) {
+	const stages = 6
+	p := parser.MustParseProgram(fmt.Sprintf(`T(x, z) :- S%d(x, y), S%d(y, z).`, stages, stages))
+	var tgds []ast.TGD
+	for i := 0; i < stages; i++ {
+		tgds = append(tgds, parser.MustParseTGD(fmt.Sprintf("S%d(x, y) -> S%d(x, y).", i, i+1)))
+	}
+	rng := rand.New(rand.NewSource(11))
+	base := db.New()
+	for i := 0; i < 400; i++ {
+		base.Add(ast.GroundAtom{Pred: "S0", Args: []ast.Const{
+			ast.Int(int64(rng.Intn(80))), ast.Int(int64(rng.Intn(80)))}})
+	}
+	snap := base.Freeze()
+
+	run := func(b *testing.B, c *chase.Checker) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := c.Apply(tgds, snap.Thaw(), chase.Budget{})
+			if err != nil || !res.Complete {
+				b.Fatalf("chase: complete=%v err=%v", res.Complete, err)
+			}
+		}
+	}
+	b.Run("classified", func(b *testing.B) {
+		c, err := chase.NewChecker(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, c)
+	})
+	b.Run("raw-budget", func(b *testing.B) {
+		c, err := chase.NewChecker(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.DisableTerminationAnalysis()
+		run(b, c)
+	})
+}

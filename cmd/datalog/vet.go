@@ -57,6 +57,7 @@ func vetFile(name string) []analysis.Diagnostic {
 			Code:     analysis.CodeParse,
 			Severity: analysis.Error,
 			Message:  err.Error(),
+			Pass:     "parse",
 		}}
 	}
 	res, err := parser.ParseLoose(src)
@@ -67,6 +68,7 @@ func vetFile(name string) []analysis.Diagnostic {
 			Severity: analysis.Error,
 			Pos:      pos,
 			Message:  msg,
+			Pass:     "parse",
 		}}
 	}
 	return analysis.Analyze(res)
@@ -129,6 +131,7 @@ type vetJSONFinding struct {
 	Severity string           `json:"severity"`
 	Pos      *vetJSONPos      `json:"pos,omitempty"`
 	Message  string           `json:"message"`
+	Pass     string           `json:"pass"`
 	Related  []vetJSONRelated `json:"related,omitempty"`
 }
 
@@ -148,6 +151,7 @@ func writeVetJSON(out io.Writer, findings []vetFinding) error {
 			Severity: f.Severity.String(),
 			Pos:      jsonPos(f.Pos),
 			Message:  f.Message,
+			Pass:     f.Pass,
 		}
 		for _, rel := range f.Related {
 			jf.Related = append(jf.Related, vetJSONRelated{Pos: jsonPos(rel.Pos), Message: rel.Message})

@@ -78,8 +78,51 @@ func TestVetJSON(t *testing.T) {
 	if !ok || unbound.Severity != "error" || unbound.Pos == nil || unbound.Pos.Line != 3 || unbound.Pos.Col != 1 {
 		t.Fatalf("bad DL0001 finding: %+v", unbound)
 	}
+	if unbound.Pass != "safety" {
+		t.Fatalf("DL0001 pass = %q, want safety", unbound.Pass)
+	}
 	if _, ok := codes["DL0002"]; !ok {
 		t.Fatalf("missing DL0002 in %v", codes)
+	}
+	for _, f := range findings {
+		if f.Pass == "" {
+			t.Fatalf("finding without a pass tag: %+v", f)
+		}
+	}
+}
+
+// TestVetJSONTerminationCodes drives -json over the termination corpus and
+// checks the classifier diagnostics come through with their pass tag.
+func TestVetJSONTerminationCodes(t *testing.T) {
+	wantCode := map[string]string{
+		"term_wa":      "DL0013",
+		"term_ja":      "DL0014",
+		"term_sticky":  "DL0013",
+		"term_diverge": "DL0016",
+		"term_ws":      "DL0015",
+	}
+	for name, code := range wantCode {
+		file := testdataPath(filepath.Join("vet", name+".dl"))
+		var sb strings.Builder
+		if err := run([]string{"-json", "vet", file}, &sb); err != nil {
+			t.Fatalf("vet %s: %v", name, err)
+		}
+		var findings []vetJSONFinding
+		if err := json.Unmarshal([]byte(sb.String()), &findings); err != nil {
+			t.Fatalf("%s: output is not JSON: %v", name, err)
+		}
+		found := false
+		for _, f := range findings {
+			if f.Code == code {
+				found = true
+				if f.Pass != "termination" {
+					t.Fatalf("%s: %s tagged with pass %q, want termination", name, code, f.Pass)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no %s finding in -json output:\n%s", name, code, sb.String())
+		}
 	}
 }
 

@@ -85,6 +85,18 @@ const (
 	// CodeTGDCandidate: a tgd measured against Section XI's candidate
 	// properties 1–3.
 	CodeTGDCandidate = "DL0012"
+	// CodeTerminationClass: the chase-termination class of the rule + tgd
+	// set (weakly-acyclic, jointly-acyclic, sticky or weakly-sticky).
+	CodeTerminationClass = "DL0013"
+	// CodeNotWeaklyAcyclic: a position-graph cycle through a special
+	// (existential) edge, with the witness cycle.
+	CodeNotWeaklyAcyclic = "DL0014"
+	// CodeMarkedJoin: a sticky-marking join violation — a marked variable
+	// occurring more than once in one dependency body.
+	CodeMarkedJoin = "DL0015"
+	// CodeDivergent: the set falls outside every decidable termination
+	// class; chase budgets are load-bearing.
+	CodeDivergent = "DL0016"
 )
 
 // RelatedPos points a diagnostic at a second location — the other half of a
@@ -95,13 +107,15 @@ type RelatedPos struct {
 }
 
 // Diagnostic is one finding: a stable code, a severity, the position it
-// anchors to (zero when unknown), a message, and related positions.
+// anchors to (zero when unknown), a message, and related positions. Pass
+// names the analysis pass that produced it (filled in by Run).
 type Diagnostic struct {
 	Code     string
 	Severity Severity
 	Pos      ast.Pos
 	Message  string
 	Related  []RelatedPos
+	Pass     string
 }
 
 // String renders "line:col: severity: message [CODE]" (the position is
@@ -136,6 +150,7 @@ func Passes() []Pass {
 		{"product", "cartesian-product joins between body atom groups (DL0009)", runProduct},
 		{"subsumption", "duplicate and θ-subsumed rules (DL0010, DL0011)", runSubsumption},
 		{"tgdcheck", "tgd sanity against Section XI candidate properties 1–3 (DL0012)", runTGDCheck},
+		{"termination", "chase-termination class of the rule + tgd set (DL0013–DL0016)", runTermination},
 	}
 }
 
@@ -157,7 +172,13 @@ func AnalyzeProgram(p *ast.Program) []Diagnostic {
 func Run(c *Context, passes []Pass) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range passes {
-		out = append(out, p.Run(c)...)
+		ds := p.Run(c)
+		for i := range ds {
+			if ds[i].Pass == "" {
+				ds[i].Pass = p.Name
+			}
+		}
+		out = append(out, ds...)
 	}
 	SortDiagnostics(out)
 	return out

@@ -19,10 +19,26 @@ type Context struct {
 	TGDs    []ast.TGD
 	Symbols *ast.SymbolTable
 
-	sites []Site
-	graph *depgraph.Graph
-	preds map[string]*PredUse
-	order []string
+	sites   []Site
+	graph   *depgraph.Graph
+	preds   map[string]*PredUse
+	order   []string
+	term    depgraph.Classification
+	termSet bool
+}
+
+// Termination returns the chase-termination classification of the source's
+// rules and tgds (see depgraph.ClassifyTGDs), computed once per context.
+func (c *Context) Termination() depgraph.Classification {
+	if !c.termSet {
+		var rules []ast.Rule
+		if c.Program != nil {
+			rules = c.Program.Rules
+		}
+		c.term = depgraph.ClassifyTGDs(rules, c.TGDs)
+		c.termSet = true
+	}
+	return c.term
 }
 
 // NewContext builds a Context from a parse result (use parser.ParseLoose so

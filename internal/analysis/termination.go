@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/depgraph"
+)
+
+// runTermination reports the chase-termination class of the source's rule +
+// tgd set (DL0013) with witnesses for each classifier the set fails: the
+// special-edge position cycle breaking weak acyclicity (DL0014), the marked
+// join variable breaking stickiness (DL0015), and a summary warning when
+// the set falls outside every decidable class (DL0016). Programs without
+// tgds are silent — plain rules never create nulls, so there is nothing to
+// classify.
+func runTermination(c *Context) []Diagnostic {
+	if len(c.TGDs) == 0 {
+		return nil
+	}
+	cl := c.Termination()
+	anchor := c.tgdPos(0)
+	var out []Diagnostic
+
+	if cl.Class != depgraph.TermDivergent {
+		out = append(out, Diagnostic{
+			Code:     CodeTerminationClass,
+			Severity: Info,
+			Pos:      anchor,
+			Message: fmt.Sprintf("tgd set is %s: %s", cl.Class,
+				classNote(cl.Class)),
+		})
+	}
+
+	if cl.WAViolation != nil {
+		sev := Warning
+		if cl.Class.ChaseTerminates() {
+			sev = Info
+		}
+		d := Diagnostic{
+			Code:     CodeNotWeaklyAcyclic,
+			Severity: sev,
+			Pos:      c.depPos(cl.WAViolation.Origins[0]),
+			Message: fmt.Sprintf("not weakly acyclic: position cycle through a special edge: %s",
+				cl.WAViolation.String()),
+		}
+		for _, ref := range dedupRefs(cl.WAViolation.Origins) {
+			d.Related = append(d.Related, RelatedPos{
+				Pos:     c.depPos(ref),
+				Message: fmt.Sprintf("%s contributes an edge of the cycle", c.depName(ref)),
+			})
+		}
+		out = append(out, d)
+	}
+
+	if j := cl.StickyViolation; j != nil {
+		sev, note := Warning, "the chase can copy marked nulls into an unbounded join"
+		if cl.Class == depgraph.TermWeaklySticky {
+			sev, note = Info, "rescued by a finite-rank occurrence (weakly sticky)"
+		}
+		out = append(out, Diagnostic{
+			Code:     CodeMarkedJoin,
+			Severity: sev,
+			Pos:      c.depPos(j.Dep),
+			Message: fmt.Sprintf("marked variable %s joins %d occurrences of %s in %s: %s",
+				j.Var, j.Occurrences, depgraph.FormatPositions(j.Positions), c.depName(j.Dep), note),
+		})
+	}
+
+	if cl.Class == depgraph.TermDivergent {
+		out = append(out, Diagnostic{
+			Code:     CodeDivergent,
+			Severity: Warning,
+			Pos:      anchor,
+			Message: "tgd set is divergence-capable (not weakly acyclic, jointly acyclic or " +
+				"weakly sticky): the chase may not terminate and budget cutoffs are load-bearing",
+		})
+	}
+	return out
+}
+
+func classNote(c depgraph.TerminationClass) string {
+	switch c {
+	case depgraph.TermWeaklyAcyclic, depgraph.TermJointlyAcyclic:
+		return "every chase terminates; a provable bound replaces the default budget"
+	case depgraph.TermSticky:
+		return "the chase may diverge but query answering is decidable"
+	case depgraph.TermWeaklySticky:
+		return "marked joins stay on finite-rank positions; query answering is decidable"
+	default:
+		return ""
+	}
+}
+
+// tgdPos resolves the reporting position of tgd i (its first lhs atom's).
+func (c *Context) tgdPos(i int) ast.Pos {
+	if i < 0 || i >= len(c.TGDs) {
+		return ast.Pos{}
+	}
+	t := c.TGDs[i]
+	if len(t.Lhs) > 0 {
+		return t.Lhs[0].Pos
+	}
+	if len(t.Rhs) > 0 {
+		return t.Rhs[0].Pos
+	}
+	return ast.Pos{}
+}
+
+// depPos resolves a witness dependency to a source position.
+func (c *Context) depPos(ref depgraph.DepRef) ast.Pos {
+	if ref.TGD >= 0 {
+		return c.tgdPos(ref.TGD)
+	}
+	return c.rulePos(ref.Rule)
+}
+
+// depName renders a witness dependency for messages ("tgd 1", "rule 2").
+func (c *Context) depName(ref depgraph.DepRef) string {
+	if ref.TGD >= 0 {
+		return fmt.Sprintf("tgd %d", ref.TGD+1)
+	}
+	return fmt.Sprintf("rule %d", ref.Rule+1)
+}
+
+func dedupRefs(refs []depgraph.DepRef) []depgraph.DepRef {
+	seen := make(map[depgraph.DepRef]bool)
+	var out []depgraph.DepRef
+	for _, r := range refs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -137,6 +137,16 @@ type Checker struct {
 	// noSyntactic disables the θ-subsumption fast path (an ablation hook for
 	// oracle tests and benchmarks); inherited by derived sessions.
 	noSyntactic bool
+	// noTermination disables the termination classifier: no derived budgets,
+	// no full-set fixpoint collapse, every chase pays the raw round
+	// alternation under the caller's (or default) budget. An ablation hook
+	// for oracle tests and benchmarks; inherited by derived sessions.
+	noTermination bool
+	// termMemo caches the termination classification per tgd-set key (the
+	// session program is fixed, so the key omits it); fullPreps caches the
+	// combined prepared program chaseFull evaluates full tgd sets with.
+	termMemo  map[string]depgraph.Classification
+	fullPreps map[string]*eval.Prepared
 	// ctx, when non-nil, cancels the session's chases: every internal
 	// evaluation threads it to the emit path and every chase round checks
 	// it, so a deadline cuts a diverging chase promptly. Set by SetContext,
@@ -434,11 +444,12 @@ func (c *Checker) Derive(delta Delta) (*Checker, error) {
 		// The graph and reachability memo are shared down the lineage; the
 		// ancestor's edges over-approximate every descendant's, which is the
 		// sound direction for transfer (see the field comment).
-		graph:       c.graph,
-		reach:       c.reach,
-		cache:       c.cache, // the lineage prepares through one cache
-		noSyntactic: c.noSyntactic,
-		ctx:         c.ctx,
+		graph:         c.graph,
+		reach:         c.reach,
+		cache:         c.cache, // the lineage prepares through one cache
+		noSyntactic:   c.noSyntactic,
+		noTermination: c.noTermination,
+		ctx:           c.ctx,
 	}
 	nc.pv = defaultVerdicts.forProgram(nc.progCanon)
 	prep, hit, err := c.cache.GetOrBuildCanonical(nc.progCanon, eval.Options{}, func() (*eval.Prepared, error) {
@@ -607,8 +618,15 @@ type Result struct {
 	// stops early still reports Complete truthfully — true exactly when the
 	// partial database happens to be the fixpoint already.
 	Complete bool
-	// Rounds is the number of program/tgd alternations performed.
+	// Rounds is the number of program/tgd alternations performed (1 for the
+	// single-fixpoint fast path full tgd sets take).
 	Rounds int
+	// Class is the termination classification of the rule + tgd set the
+	// chase ran under (depgraph.TermUnclassified when the analysis was
+	// disabled). With Complete=false it tells budget exhaustion on a
+	// provably-terminating set (impossible under the derived bound) apart
+	// from a divergence-capable shape where the cutoff is load-bearing.
+	Class depgraph.TerminationClass
 }
 
 // Apply computes [P, T](d): the closure of d under both the rules of p and
@@ -639,7 +657,17 @@ func (c *Checker) Apply(tgds []ast.TGD, d *db.Database, budget Budget) (Result, 
 // round — and pushes the goal into the evaluator's emit path, so a round
 // halts mid-join the moment the goal is derived.
 func (c *Checker) chaseToGoal(tgds []ast.TGD, d *db.Database, goal *ast.GroundAtom, budget Budget) (Result, Verdict, error) {
-	budget = budget.orDefault()
+	var cl depgraph.Classification
+	if !c.noTermination {
+		cl = c.Classify(tgds)
+		if cl.Full {
+			// Full tgds create no nulls, so [P, T](d) is the least fixpoint
+			// of P ∪ rules(T) and the round alternation collapses into one
+			// prepared evaluation.
+			return c.chaseFull(tgds, d, goal, budget, cl)
+		}
+	}
+	budget = c.resolveBudget(d, budget, cl)
 	cur := d.Clone()
 	_, maxNull := cur.MaxGeneratedIndexes()
 	nullGen := ast.NewNullGen(maxNull + 1)
@@ -654,35 +682,164 @@ func (c *Checker) chaseToGoal(tgds []ast.TGD, d *db.Database, goal *ast.GroundAt
 		// Datalog saturation phase, cut short if the goal shows up.
 		remaining := budget.MaxAtoms - cur.Len()
 		if remaining <= 0 {
-			return Result{DB: cur, Complete: false, Rounds: round}, Unknown, nil
+			return Result{DB: cur, Complete: false, Rounds: round, Class: cl.Class}, Unknown, nil
 		}
 		out, reached, est, err := c.prep.EvalGoalCtx(c.ctx, cur, goal, remaining)
 		c.stats.AddStreaming(est)
 		if err != nil {
 			if isBudgetErr(err) {
-				return Result{DB: cur, Complete: false, Rounds: round}, Unknown, nil
+				return Result{DB: cur, Complete: false, Rounds: round, Class: cl.Class}, Unknown, nil
 			}
 			return Result{}, Unknown, err
 		}
 		cur = out
 		if reached {
-			return Result{DB: cur, Complete: c.isFixpoint(cur, tgds), Rounds: round + 1}, Yes, nil
+			return Result{DB: cur, Complete: c.isFixpoint(cur, tgds), Rounds: round + 1, Class: cl.Class}, Yes, nil
 		}
 
 		// Tgd phase: fire every violated instantiation found against the
 		// snapshot, re-checking before each firing (the restricted chase).
 		added := ApplyTGDRound(tgds, cur, nullGen)
 		if goal != nil && cur.Has(*goal) {
-			return Result{DB: cur, Complete: c.isFixpoint(cur, tgds), Rounds: round + 1}, Yes, nil
+			return Result{DB: cur, Complete: c.isFixpoint(cur, tgds), Rounds: round + 1, Class: cl.Class}, Yes, nil
 		}
 		if added == 0 {
-			return Result{DB: cur, Complete: true, Rounds: round + 1}, No, nil
+			return Result{DB: cur, Complete: true, Rounds: round + 1, Class: cl.Class}, No, nil
 		}
 		if cur.Len() > budget.MaxAtoms {
-			return Result{DB: cur, Complete: false, Rounds: round + 1}, Unknown, nil
+			return Result{DB: cur, Complete: false, Rounds: round + 1, Class: cl.Class}, Unknown, nil
 		}
 	}
-	return Result{DB: cur, Complete: false, Rounds: budget.MaxRounds}, Unknown, nil
+	return Result{DB: cur, Complete: false, Rounds: budget.MaxRounds, Class: cl.Class}, Unknown, nil
+}
+
+// termBudgetCap mirrors the saturation cap of depgraph.DerivedBudget when
+// folding the input database size into a derived atom bound.
+const termBudgetCap = 1 << 60
+
+// resolveBudget picks the chase limits. A caller's explicit budget is
+// always honored — exhaustion under it stays indistinguishable from
+// divergence — but the zero Budget{} of a set classified chase-terminating
+// is replaced by the provable bound DerivedBudget computes (plus the input
+// database's own atoms), so the chase runs to true fixpoint and Unknown can
+// no longer mean "budget too small". Each resolution is counted in the
+// session stats as budget-free or budget-bounded.
+func (c *Checker) resolveBudget(d *db.Database, budget Budget, cl depgraph.Classification) Budget {
+	if budget == (Budget{}) && cl.Class.ChaseTerminates() {
+		atoms, rounds := cl.DerivedBudget(len(d.Consts()))
+		if atoms > termBudgetCap-d.Len() {
+			atoms = termBudgetCap
+		} else {
+			atoms += d.Len()
+		}
+		c.stats.ChasesBudgetFree++
+		return Budget{MaxAtoms: atoms, MaxRounds: rounds}
+	}
+	c.stats.ChasesBudgetBounded++
+	return budget.orDefault()
+}
+
+// Classify returns the chase-termination classification of running the
+// session program together with tgds (depgraph.ClassifyTGDs), memoized per
+// tgd set — the minimization loops re-chase one tgd set against many
+// candidate rules.
+func (c *Checker) Classify(tgds []ast.TGD) depgraph.Classification {
+	key := tgdSetKey(tgds)
+	if cl, ok := c.termMemo[key]; ok {
+		return cl
+	}
+	cl := depgraph.ClassifyTGDs(c.prog.Rules, tgds)
+	if c.termMemo == nil {
+		c.termMemo = make(map[string]depgraph.Classification)
+	}
+	c.termMemo[key] = cl
+	return cl
+}
+
+// DisableTerminationAnalysis turns off the termination classifier for this
+// session and every session it derives: chases fall back to raw budgets and
+// the full-set fixpoint collapse is skipped. It exists as the oracle arm of
+// ablation benchmarks and the corpus property tests.
+func (c *Checker) DisableTerminationAnalysis() { c.noTermination = true }
+
+func tgdSetKey(tgds []ast.TGD) string {
+	var sb strings.Builder
+	for _, t := range tgds {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// chaseFull runs the combined chase of a full tgd set as a single Datalog
+// fixpoint over P ∪ rules(T), with the goal pushed into the evaluator's
+// emit path. Full tgds have no existential variables, so no nulls are ever
+// created and the fixpoint is exactly [P, T](d); closure under the combined
+// program subsumes tgd satisfaction, so Complete needs no separate
+// tgdsSatisfied sweep.
+func (c *Checker) chaseFull(tgds []ast.TGD, d *db.Database, goal *ast.GroundAtom, budget Budget, cl depgraph.Classification) (Result, Verdict, error) {
+	prep, err := c.fullPrep(tgds)
+	if err != nil {
+		return Result{}, Unknown, err
+	}
+	maxDerived := 0 // unbounded: a full set always terminates
+	if budget != (Budget{}) {
+		b := budget.orDefault()
+		maxDerived = b.MaxAtoms - d.Len()
+		if maxDerived <= 0 {
+			return Result{DB: d.Clone(), Complete: false, Rounds: 0, Class: cl.Class}, Unknown, nil
+		}
+		c.stats.ChasesBudgetBounded++
+	} else {
+		c.stats.ChasesBudgetFree++
+	}
+	out, reached, est, err := prep.EvalGoalCtx(c.ctx, d, goal, maxDerived)
+	c.stats.AddStreaming(est)
+	if err != nil {
+		if isBudgetErr(err) {
+			return Result{DB: d.Clone(), Complete: false, Rounds: 1, Class: cl.Class}, Unknown, nil
+		}
+		return Result{}, Unknown, err
+	}
+	if reached {
+		return Result{DB: out, Complete: prep.IsClosed(out), Rounds: 1, Class: cl.Class}, Yes, nil
+	}
+	return Result{DB: out, Complete: true, Rounds: 1, Class: cl.Class}, No, nil
+}
+
+// fullPrep returns the prepared combined program P ∪ rules(T) for a full
+// tgd set, through the session's plan cache and memoized per tgd set.
+func (c *Checker) fullPrep(tgds []ast.TGD) (*eval.Prepared, error) {
+	key := tgdSetKey(tgds)
+	if p, ok := c.fullPreps[key]; ok {
+		return p, nil
+	}
+	combined := ast.NewProgram()
+	combined.Rules = append(combined.Rules, c.prog.Rules...)
+	lines := make([]string, 0, len(c.ruleCanon)+len(tgds))
+	lines = append(lines, c.ruleCanon...)
+	for _, t := range tgds {
+		for _, r := range t.AsRules() {
+			combined.Rules = append(combined.Rules, r)
+			lines = append(lines, r.CanonicalString()+"\n")
+		}
+	}
+	prep, hit, err := c.cache.GetOrBuildCanonical(joinCanon(lines), eval.Options{}, func() (*eval.Prepared, error) {
+		return eval.Prepare(combined, eval.Options{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		c.stats.PrepareHits++
+	} else {
+		c.stats.PrepareMisses++
+	}
+	if c.fullPreps == nil {
+		c.fullPreps = make(map[string]*eval.Prepared)
+	}
+	c.fullPreps[key] = prep
+	return prep, nil
 }
 
 // isFixpoint reports whether cur is already the [P, T] fixpoint: closed

@@ -41,6 +41,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/chase"
 	"repro/internal/db"
+	"repro/internal/depgraph"
 	"repro/internal/equivopt"
 	"repro/internal/eval"
 	"repro/internal/explain"
@@ -121,6 +122,13 @@ type (
 	DiagnosticSeverity = analysis.Severity
 	// AnalysisPass is one static analysis over a shared fact context.
 	AnalysisPass = analysis.Pass
+	// TerminationClass is where a tgd set sits on the chase-termination
+	// ladder (weakly acyclic ⊂ jointly acyclic terminate; sticky and
+	// weakly sticky have decidable query answering but unbounded chases).
+	TerminationClass = depgraph.TerminationClass
+	// TGDClassification is the full termination analysis of a rule + tgd
+	// set: class, witnesses for the failed checks, and position ranks.
+	TGDClassification = depgraph.Classification
 )
 
 // Verdict values.
@@ -157,6 +165,19 @@ func AnalyzeProgram(p *Program) []Diagnostic { return analysis.AnalyzeProgram(p)
 // AnalysisHasErrors reports whether any diagnostic has Error severity —
 // the condition under which `datalog vet` exits nonzero.
 func AnalysisHasErrors(ds []Diagnostic) bool { return analysis.HasErrors(ds) }
+
+// ClassifyTGDs runs the termination analysis of internal/depgraph over a
+// program's rules and a tgd set: it builds the position dependency graph
+// and walks the ladder weakly-acyclic → jointly-acyclic → sticky →
+// weakly-sticky, returning the strongest class that holds plus the
+// witnesses for the checks that failed. p may be nil (tgds alone).
+func ClassifyTGDs(p *Program, tgds []TGD) TGDClassification {
+	var rules []Rule
+	if p != nil {
+		rules = p.Rules
+	}
+	return depgraph.ClassifyTGDs(rules, tgds)
+}
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database { return db.New() }

@@ -384,25 +384,29 @@ func (s *Session) accountPreserve(ps *PreserveSession) {
 // counter snapshots.
 func statsDelta(cur, last EvalStats) EvalStats {
 	return EvalStats{
-		Rounds:             cur.Rounds - last.Rounds,
-		Firings:            cur.Firings - last.Firings,
-		Added:              cur.Added - last.Added,
-		PrepareHits:        cur.PrepareHits - last.PrepareHits,
-		PrepareMisses:      cur.PrepareMisses - last.PrepareMisses,
-		VerdictsReused:     cur.VerdictsReused - last.VerdictsReused,
-		VerdictsRecomputed: cur.VerdictsRecomputed - last.VerdictsRecomputed,
-		VerdictsSubsumed:   cur.VerdictsSubsumed - last.VerdictsSubsumed,
-		StrataStreamed:     cur.StrataStreamed - last.StrataStreamed,
-		StrataMaterialized: cur.StrataMaterialized - last.StrataMaterialized,
-		BindingsPipelined:  cur.BindingsPipelined - last.BindingsPipelined,
-		EarlyStopCuts:      cur.EarlyStopCuts - last.EarlyStopCuts,
-		ShardRounds:        cur.ShardRounds - last.ShardRounds,
-		DeltaExchanged:     cur.DeltaExchanged - last.DeltaExchanged,
-		ShardImbalance:     cur.ShardImbalance - last.ShardImbalance,
-		Applies:            cur.Applies - last.Applies,
-		CountAdjusted:      cur.CountAdjusted - last.CountAdjusted,
-		Overdeleted:        cur.Overdeleted - last.Overdeleted,
-		Rederived:          cur.Rederived - last.Rederived,
+		Rounds:              cur.Rounds - last.Rounds,
+		Firings:             cur.Firings - last.Firings,
+		Added:               cur.Added - last.Added,
+		PrepareHits:         cur.PrepareHits - last.PrepareHits,
+		PrepareMisses:       cur.PrepareMisses - last.PrepareMisses,
+		VerdictsReused:      cur.VerdictsReused - last.VerdictsReused,
+		VerdictsRecomputed:  cur.VerdictsRecomputed - last.VerdictsRecomputed,
+		VerdictsSubsumed:    cur.VerdictsSubsumed - last.VerdictsSubsumed,
+		StrataStreamed:      cur.StrataStreamed - last.StrataStreamed,
+		StrataMaterialized:  cur.StrataMaterialized - last.StrataMaterialized,
+		BindingsPipelined:   cur.BindingsPipelined - last.BindingsPipelined,
+		EarlyStopCuts:       cur.EarlyStopCuts - last.EarlyStopCuts,
+		ShardRounds:         cur.ShardRounds - last.ShardRounds,
+		DeltaExchanged:      cur.DeltaExchanged - last.DeltaExchanged,
+		ShardImbalance:      cur.ShardImbalance - last.ShardImbalance,
+		Applies:             cur.Applies - last.Applies,
+		CountAdjusted:       cur.CountAdjusted - last.CountAdjusted,
+		Overdeleted:         cur.Overdeleted - last.Overdeleted,
+		Rederived:           cur.Rederived - last.Rederived,
+		RelationsFrozen:     cur.RelationsFrozen - last.RelationsFrozen,
+		FreezeSkipped:       cur.FreezeSkipped - last.FreezeSkipped,
+		ChasesBudgetFree:    cur.ChasesBudgetFree - last.ChasesBudgetFree,
+		ChasesBudgetBounded: cur.ChasesBudgetBounded - last.ChasesBudgetBounded,
 	}
 }
 
@@ -416,6 +420,7 @@ func addStats(dst *EvalStats, st EvalStats) {
 	dst.AddStreaming(st)
 	dst.AddSharding(st)
 	dst.AddMaintain(st)
+	dst.AddChase(st)
 }
 
 // account folds one request's stats into the session totals.

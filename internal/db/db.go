@@ -22,6 +22,12 @@ type Database struct {
 	// frozen marks a database made immutable by Freeze: mutators panic, and
 	// Clone degrades to a map copy sharing every relation (see snapshot.go).
 	frozen bool
+	// dirty lists the predicates of private (unshared) relations — each
+	// appended exactly once, at relation creation or at the copy-on-write
+	// shared→private transition — so Freeze and Compact walk only the
+	// relations written since the last freeze instead of the whole map.
+	// Freeze shares every listed relation and resets the list.
+	dirty []string
 }
 
 // New returns an empty database.
@@ -68,6 +74,7 @@ func (d *Database) AddTuple(pred string, args []ast.Const) bool {
 	if !ok {
 		r = newRelation(len(args))
 		d.rels[pred] = r
+		d.dirty = append(d.dirty, pred)
 	}
 	if r.shared {
 		// Copy-on-write: the relation is shared with a frozen snapshot, so
@@ -76,6 +83,7 @@ func (d *Database) AddTuple(pred string, args []ast.Const) bool {
 		// lock-free probes valid.
 		r = r.clone()
 		d.rels[pred] = r
+		d.dirty = append(d.dirty, pred)
 	}
 	if r.insert(args, d.round) {
 		d.size++
@@ -144,8 +152,22 @@ func (d *Database) Clone() *Database {
 			c.rels[p] = r.clone()
 		}
 	}
+	// Deep-copied relations are private in the copy too, so the copy's
+	// dirty set is exactly the source's (empty when d is frozen: Freeze
+	// shared everything and reset it).
+	if len(d.dirty) > 0 {
+		c.dirty = append([]string(nil), d.dirty...)
+	}
 	return c
 }
+
+// DirtyRelations returns the number of relations written since the last
+// freeze — the relations the next Freeze must compact and share.
+func (d *Database) DirtyRelations() int { return len(d.dirty) }
+
+// RelationCount returns the number of relations (predicates) held,
+// including tombstone-only ones.
+func (d *Database) RelationCount() int { return len(d.rels) }
 
 // AddAll inserts every fact of other, returning the number of new facts.
 func (d *Database) AddAll(other *Database) int {

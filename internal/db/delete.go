@@ -210,6 +210,7 @@ func (d *Database) RemoveTuple(pred string, args []ast.Const) bool {
 		}
 		r = r.clone()
 		d.rels[pred] = r
+		d.dirty = append(d.dirty, pred)
 	}
 	if r.remove(args) {
 		d.size--
@@ -220,13 +221,15 @@ func (d *Database) RemoveTuple(pred string, args []ast.Const) bool {
 
 // Compact rewrites every relation with pending tombstones (see
 // Relation.compact). Call at a round boundary, before the next evaluation
-// probes or scans the database.
+// probes or scans the database. Only dirty relations are visited: a shared
+// relation is tombstone-free by construction (RemoveTuple copies before the
+// first tombstone, putting the predicate on the dirty list).
 func (d *Database) Compact() {
 	if d.frozen {
 		return // frozen relations are tombstone-free by construction
 	}
-	for _, r := range d.rels {
-		if !r.shared {
+	for _, p := range d.dirty {
+		if r := d.rels[p]; !r.shared {
 			r.compact()
 		}
 	}
@@ -251,6 +254,7 @@ func (d *Database) BumpCount(pred string, args []ast.Const, delta int32) (int32,
 	if r.shared {
 		r = r.clone()
 		d.rels[pred] = r
+		d.dirty = append(d.dirty, pred)
 	}
 	r.EnableCounts()
 	return r.bumpCount(id, delta), true

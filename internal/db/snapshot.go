@@ -38,8 +38,13 @@ type Snapshot struct {
 // snapshot carries the happens-before edge readers need.
 func (d *Database) Freeze() *Snapshot {
 	d.frozen = true
-	for _, r := range d.rels {
-		if !r.shared {
+	// Only dirty relations can be unshared: a predicate enters the dirty
+	// list exactly when its relation is created or copied private, so
+	// walking it visits every relation written since the last freeze and
+	// none of the untouched ones (the win on wide schemas where a batch
+	// touches a handful of predicates).
+	for _, p := range d.dirty {
+		if r := d.rels[p]; !r.shared {
 			// Round boundary: sweep any tombstones left by RemoveTuple so a
 			// shared relation is always dead-tuple-free — snapshot readers
 			// scan and probe the arena positionally.
@@ -47,6 +52,7 @@ func (d *Database) Freeze() *Snapshot {
 			r.shared = true
 		}
 	}
+	d.dirty = nil
 	return &Snapshot{d: d}
 }
 

@@ -183,6 +183,17 @@ type Stats struct {
 	// their gap is the net deletion work a retraction batch caused.
 	Overdeleted int
 	Rederived   int
+	// RelationsFrozen / FreezeSkipped count, per maintenance batch, the
+	// relations the snapshot layer had to compact-and-share versus those the
+	// dirty-set check proved untouched since the previous freeze.
+	RelationsFrozen int
+	FreezeSkipped   int
+	// ChasesBudgetFree / ChasesBudgetBounded count chase runs whose limits
+	// came from a termination-classification-derived bound (the set provably
+	// reaches a fixpoint) versus runs bounded by a raw caller or default
+	// budget, where exhaustion is indistinguishable from divergence.
+	ChasesBudgetFree    int
+	ChasesBudgetBounded int
 }
 
 // AddCache accumulates o's cache counters into s.
@@ -219,6 +230,14 @@ func (s *Stats) AddMaintain(o Stats) {
 	s.CountAdjusted += o.CountAdjusted
 	s.Overdeleted += o.Overdeleted
 	s.Rederived += o.Rederived
+	s.RelationsFrozen += o.RelationsFrozen
+	s.FreezeSkipped += o.FreezeSkipped
+}
+
+// AddChase accumulates o's chase-budget counters into s.
+func (s *Stats) AddChase(o Stats) {
+	s.ChasesBudgetFree += o.ChasesBudgetFree
+	s.ChasesBudgetBounded += o.ChasesBudgetBounded
 }
 
 // Eval computes P(input): the least DB containing input and closed under the

@@ -273,6 +273,12 @@ func (m *Maintained) Apply(ctx context.Context, delta Delta) (Diff, Stats, error
 		}
 	}
 
+	// The dirty-set freeze only compacts-and-shares relations the batch
+	// actually wrote; count both sides so maintenance stats prove how much
+	// re-freeze work the write-epoch check skipped for untouched relations.
+	stats.RelationsFrozen += input.DirtyRelations() + cur.DirtyRelations()
+	stats.FreezeSkipped += (input.RelationCount() - input.DirtyRelations()) +
+		(cur.RelationCount() - cur.DirtyRelations())
 	m.in = input.Freeze()
 	m.snap = cur.Freeze()
 	return Diff{Added: sortedFacts(addedDB), Removed: sortedFacts(remDB)}, stats, nil

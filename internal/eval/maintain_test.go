@@ -504,3 +504,50 @@ func TestMaintainDeterministicAcrossWorkersShards(t *testing.T) {
 		}
 	}
 }
+
+// TestMaintainFreezeSkipsUntouchedRelations: an Apply batch that writes one
+// predicate of a wide schema must re-freeze only the relations the batch (and
+// its derived deltas) touched; the skip counter proves the untouched
+// relations rode through on shared storage.
+func TestMaintainFreezeSkipsUntouchedRelations(t *testing.T) {
+	p := mustParseProgram(t, `
+		PA(x, y) :- A(x, y).
+		PB(x, y) :- B(x, y).
+		PC(x, y) :- C(x, y).
+		PD(x, y) :- D(x, y).
+	`)
+	input := db.New()
+	for i, pred := range []string{"A", "B", "C", "D"} {
+		input.Add(ga(pred, int64(i), int64(i)+1))
+	}
+	m := mustMaterialize(t, p, input, Options{}, MaintainOptions{})
+
+	diff, stats, err := m.Apply(context.Background(), Delta{Assert: []ast.GroundAtom{ga("A", 10, 11)}})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if len(diff.Added) != 2 {
+		t.Fatalf("diff = %+v, want the A fact plus its PA derivation", diff)
+	}
+	if stats.FreezeSkipped == 0 {
+		t.Fatalf("FreezeSkipped = 0: untouched relations were re-frozen (RelationsFrozen=%d)", stats.RelationsFrozen)
+	}
+	if stats.RelationsFrozen == 0 || stats.RelationsFrozen > 3 {
+		t.Fatalf("RelationsFrozen = %d, want 1..3 (A on the input side, PA and support on the output side)", stats.RelationsFrozen)
+	}
+	// The two counters partition the relations of both frozen databases.
+	total := m.Input().RelationCount() + m.Output().RelationCount()
+	if stats.RelationsFrozen+stats.FreezeSkipped != total {
+		t.Fatalf("frozen %d + skipped %d != %d total relations", stats.RelationsFrozen, stats.FreezeSkipped, total)
+	}
+
+	// A no-op batch (retracting an absent fact) short-circuits before any
+	// re-freeze: neither counter moves.
+	_, stats2, err := m.Apply(context.Background(), Delta{Retract: []ast.GroundAtom{ga("D", 99, 99)}})
+	if err != nil {
+		t.Fatalf("apply noop: %v", err)
+	}
+	if stats2.RelationsFrozen != 0 || stats2.FreezeSkipped != 0 {
+		t.Fatalf("no-op batch counted frozen=%d skipped=%d, want 0/0", stats2.RelationsFrozen, stats2.FreezeSkipped)
+	}
+}

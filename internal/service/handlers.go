@@ -352,22 +352,27 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	type diagJSON struct {
 		Code     string `json:"code"`
 		Severity string `json:"severity"`
+		Pass     string `json:"pass"`
 		Pos      string `json:"pos,omitempty"`
 		Message  string `json:"message"`
 	}
 	out := make([]diagJSON, 0, len(diags))
 	for _, d := range diags {
-		dj := diagJSON{Code: d.Code, Severity: d.Severity.String(), Message: d.Message}
+		dj := diagJSON{Code: d.Code, Severity: d.Severity.String(), Pass: d.Pass, Message: d.Message}
 		if d.Pos.IsValid() {
 			dj.Pos = d.Pos.String()
 		}
 		out = append(out, dj)
 	}
-	writeJSON(w, 200, map[string]any{
+	resp := map[string]any{
 		"program_version": pv.version,
 		"diagnostics":     out,
 		"errors":          core.AnalysisHasErrors(diags),
-	})
+	}
+	if len(res.TGDs) > 0 {
+		resp["termination_class"] = core.ClassifyTGDs(res.Program, res.TGDs).Class.String()
+	}
+	writeJSON(w, 200, resp)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -332,6 +332,10 @@ type statsJSON struct {
 	CountAdjusted      int `json:"count_adjusted"`
 	Overdeleted        int `json:"overdeleted"`
 	Rederived          int `json:"rederived"`
+	RelationsFrozen    int `json:"relations_frozen"`
+	FreezeSkipped      int `json:"freeze_skipped"`
+	ChasesBudgetFree   int `json:"chases_budget_free"`
+	ChasesBudgetBound  int `json:"chases_budget_bounded"`
 }
 
 func toStatsJSON(st eval.Stats) statsJSON {
@@ -355,6 +359,10 @@ func toStatsJSON(st eval.Stats) statsJSON {
 		CountAdjusted:      st.CountAdjusted,
 		Overdeleted:        st.Overdeleted,
 		Rederived:          st.Rederived,
+		RelationsFrozen:    st.RelationsFrozen,
+		FreezeSkipped:      st.FreezeSkipped,
+		ChasesBudgetFree:   st.ChasesBudgetFree,
+		ChasesBudgetBound:  st.ChasesBudgetBounded,
 	}
 }
 

@@ -462,6 +462,30 @@ func TestServeVetAndExplain(t *testing.T) {
 	if resp["errors"].(bool) {
 		t.Fatalf("vet reported errors on a clean program: %v", resp)
 	}
+	if _, has := resp["termination_class"]; has {
+		t.Fatalf("tgd-free program reported a termination class: %v", resp)
+	}
+
+	// A tgd-bearing source additionally reports the set's termination class
+	// and every diagnostic names its pass.
+	if code, resp := post(t, ts, "/v1/programs/terminating", map[string]any{
+		"source": "Out(y) :- Q(y).\nP(x, y) -> Q(y).\nQ(y) -> R(y, z).",
+	}); code != 200 {
+		t.Fatalf("register tgds: %d %v", code, resp)
+	}
+	code, resp = post(t, ts, "/v1/programs/terminating/vet", map[string]any{})
+	if code != 200 {
+		t.Fatalf("vet tgds: %d %v", code, resp)
+	}
+	if got := resp["termination_class"]; got != "weakly-acyclic" {
+		t.Fatalf("termination_class = %v, want weakly-acyclic", got)
+	}
+	for _, dj := range resp["diagnostics"].([]any) {
+		d := dj.(map[string]any)
+		if d["pass"] == "" {
+			t.Fatalf("diagnostic without a pass name: %v", d)
+		}
+	}
 
 	code, resp = post(t, ts, "/v1/programs/authz/explain",
 		map[string]any{"tenant": "acme", "fact": `CanRead("ann", "handbook")`})
